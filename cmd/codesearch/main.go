@@ -1,0 +1,32 @@
+// Command codesearch runs the genetic-algorithm search for (72,64)
+// SEC-2bEC parity-check matrices (paper §6.1) and prints the best code in
+// Crockford Base32 (the paper's Eq. 3 format) plus its column values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hbm2ecc/internal/codesearch"
+	"hbm2ecc/internal/gf2"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2021, "random seed")
+	pop := flag.Int("pop", 48, "GA population size")
+	gens := flag.Int("gens", 300, "GA generations")
+	flag.Parse()
+
+	res := codesearch.Search(codesearch.Options{Seed: *seed, Population: *pop, Generations: *gens})
+	fmt.Printf("collisions=%d initial=%d improvement=%.1f%%\n",
+		res.Collisions, res.InitialCollisions, res.Improvement()*100)
+	h, err := gf2.NewH72(res.Cols)
+	if err != nil {
+		log.Fatalf("search produced invalid matrix: %v", err)
+	}
+	txt, _ := h.MarshalText()
+	fmt.Println("H (Crockford Base32, one row per line):")
+	fmt.Println(string(txt))
+	fmt.Printf("columns: %#v\n", res.Cols)
+}

@@ -1,0 +1,33 @@
+// Command hwcost prints the Table 3 hardware cost estimates from the
+// structural gate model.
+package main
+
+import (
+	"fmt"
+
+	"hbm2ecc/internal/hwmodel"
+	"hbm2ecc/internal/textplot"
+)
+
+func main() {
+	base := hwmodel.Baseline()
+	t := textplot.NewTable("scheme", "variant", "enc AND2", "enc +%", "enc ns", "dec AND2", "dec +%", "dec ns")
+	for _, r := range hwmodel.All() {
+		ea, _ := r.Encoder.Overhead(base.Encoder)
+		da, _ := r.Decoder.Overhead(base.Decoder)
+		t.AddRow(r.Name, r.Variant.String(),
+			r.Encoder.AreaAND2, fmt.Sprintf("%+.1f%%", ea*100), r.Encoder.DelayNS,
+			r.Decoder.AreaAND2, fmt.Sprintf("%+.1f%%", da*100), r.Decoder.DelayNS)
+	}
+	fmt.Println("Table 3: hardware overheads")
+	fmt.Println("(baseline calibrated to the paper's synthesis: 1176 AND2/0.09ns encode, 2467 AND2/0.20ns decode)")
+	fmt.Println(t)
+	fmt.Printf("DSC / SSC-TSD alternatives need >= %d cycles of iterative decoding and are rejected (§6.2);\n",
+		hwmodel.IterativeDecoderCycles)
+	fmt.Println("every decoder above fits in a sub-0.66ns GPU cycle.")
+	fmt.Println()
+	fmt.Println("TrioECC decoder block breakdown (Fig. 7b structure, Eff. point):")
+	for _, p := range hwmodel.DecoderBreakdown() {
+		fmt.Printf("  %-40s %5d AND2\n", p.Name, p.AreaAND2)
+	}
+}

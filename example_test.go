@@ -1,0 +1,53 @@
+package hbm2ecc_test
+
+import (
+	"fmt"
+
+	"hbm2ecc"
+)
+
+// Protecting a 32B memory entry with TrioECC and correcting the paper's
+// signature multi-bit pattern: a whole-byte error from a mat-local strike.
+func ExampleCodec() {
+	var data [hbm2ecc.DataBytes]byte
+	copy(data[:], "critical model weights.........")
+
+	codec := hbm2ecc.NewTrioECC()
+	entry := codec.Encode(&data)
+
+	// A particle strike corrupts all 8 bits of one aligned byte.
+	corrupted := hbm2ecc.FlipBits(entry, 16, 17, 18, 19, 20, 21, 22, 23)
+
+	out, res := codec.Decode(corrupted)
+	fmt.Println(res.Status, res.CorrectedBits, out == data)
+	// Output: Corrected 8 true
+}
+
+// The reconfigurable decoder exposes the correction/SDC trade-off at run
+// time: Duet mode detects a byte error, Trio mode corrects it.
+func ExampleReconfigurableCodec() {
+	rc := hbm2ecc.NewReconfigurable()
+	var data [hbm2ecc.DataBytes]byte
+	entry := rc.Encode(&data)
+	bad := hbm2ecc.FlipBits(entry, 80, 81, 82, 83, 84, 85, 86, 87)
+
+	_, res := rc.Decode(bad)
+	fmt.Println("Duet:", res.Status)
+
+	rc.SetMode(hbm2ecc.ModeTrio)
+	out, res := rc.Decode(bad)
+	fmt.Println("Trio:", res.Status, out == data)
+	// Output:
+	// Duet: Detected
+	// Trio: Corrected true
+}
+
+// Checking an organization against the ISO 26262 silent-data-corruption
+// budget for an autonomous-vehicle GPU.
+func ExampleReliabilityOf() {
+	codec := hbm2ecc.NewDuetECC()
+	outcome := hbm2ecc.Evaluate(codec, hbm2ecc.EvalOptions{Seed: 1, Samples: 50000})
+	rel := hbm2ecc.ReliabilityOf(codec.Name(), outcome)
+	fmt.Println(rel.MeetsISO26262)
+	// Output: true
+}

@@ -1,0 +1,86 @@
+// Quickstart: protect 32-byte memory entries with the paper's ECC
+// organizations, inject errors, and watch each scheme correct or detect
+// them — including the reconfigurable DuetECC/TrioECC decoder's
+// correction/SDC trade-off.
+package main
+
+import (
+	"fmt"
+
+	"hbm2ecc"
+)
+
+func main() {
+	// Some data worth protecting.
+	var data [hbm2ecc.DataBytes]byte
+	copy(data[:], "the quick brown fox jumps over")
+
+	trio := hbm2ecc.NewTrioECC()
+	entry := trio.Encode(&data) // 36B: 32B data + 4B ECC
+
+	fmt.Printf("scheme:  %s\n", trio.Name())
+	fmt.Printf("entry:   %x\n\n", entry)
+
+	// A single-bit soft error: corrected.
+	out, res := trio.Decode(hbm2ecc.FlipBits(entry, 13))
+	fmt.Printf("single-bit error:   %-9v (%d bits corrected, data intact: %v)\n",
+		res.Status, res.CorrectedBits, out == data)
+
+	// A whole-byte error — the signature HBM2 multi-bit pattern, from a
+	// particle strike in a DRAM mat: TrioECC corrects it outright.
+	byteErr := []int{80, 81, 82, 83, 84, 85, 86, 87}
+	out, res = trio.Decode(hbm2ecc.FlipBits(entry, byteErr...))
+	fmt.Printf("whole-byte error:   %-9v (%d bits corrected, data intact: %v)\n",
+		res.Status, res.CorrectedBits, out == data)
+
+	// A pin error (same pin, all four beats): corrected too.
+	pinErr := []int{5, 72 + 5, 144 + 5, 216 + 5}
+	out, res = trio.Decode(hbm2ecc.FlipBits(entry, pinErr...))
+	fmt.Printf("pin error:          %-9v (%d bits corrected, data intact: %v)\n\n",
+		res.Status, res.CorrectedBits, out == data)
+
+	// The reconfigurable decoder: one hardware structure, two safety
+	// postures. Duet mode turns the byte error into a DUE (detection
+	// first); Trio mode corrects it.
+	rc := hbm2ecc.NewReconfigurable()
+	rcEntry := rc.Encode(&data)
+	rcBad := hbm2ecc.FlipBits(rcEntry, byteErr...)
+
+	_, res = rc.Decode(rcBad)
+	fmt.Printf("reconfigurable in %v mode: byte error -> %v\n", rc.CurrentMode(), res.Status)
+	rc.SetMode(hbm2ecc.ModeTrio)
+	out, res = rc.Decode(rcBad)
+	fmt.Printf("reconfigurable in %v mode: byte error -> %v (data intact: %v)\n\n",
+		rc.CurrentMode(), res.Status, out == data)
+
+	// Contrast with the SEC-DED baseline across every possible error in
+	// one aligned byte (the signature HBM2 multi-bit pattern): a
+	// sizeable share silently corrupts data, which is the paper's
+	// motivation. TrioECC corrects every one.
+	secded := hbm2ecc.NewSECDED()
+	sEntry := secded.Encode(&data)
+	var corrected, detected, silent int
+	for pat := 3; pat < 256; pat++ { // >= 2 bits
+		if pat&(pat-1) == 0 {
+			continue // single-bit patterns are not byte errors
+		}
+		var bits []int
+		for k := 0; k < 8; k++ {
+			if pat>>k&1 != 0 {
+				bits = append(bits, 80+k)
+			}
+		}
+		out, res := secded.Decode(hbm2ecc.FlipBits(sEntry, bits...))
+		switch {
+		case res.Status == hbm2ecc.Detected:
+			detected++
+		case out == data:
+			corrected++
+		default:
+			silent++
+		}
+	}
+	fmt.Printf("SEC-DED baseline across all %d errors in one byte:\n", corrected+detected+silent)
+	fmt.Printf("  corrected=%d  detected=%d  SILENT CORRUPTION=%d\n", corrected, detected, silent)
+	fmt.Println("TrioECC corrects all of them; DuetECC corrects or detects all of them.")
+}

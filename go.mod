@@ -1,0 +1,3 @@
+module hbm2ecc
+
+go 1.22

@@ -1,0 +1,134 @@
+package hbm2ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicRoundTrip(t *testing.T) {
+	for _, c := range AllCodecs() {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			var data [DataBytes]byte
+			rng.Read(data[:])
+			entry := c.Encode(&data)
+			out, res := c.Decode(entry)
+			return res.Status == OK && out == data && res.CorrectedBits == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestPublicSingleBitCorrection(t *testing.T) {
+	var data [DataBytes]byte
+	data[0] = 0x42
+	for _, c := range AllCodecs() {
+		entry := c.Encode(&data)
+		for bit := 0; bit < EntryBytes*8; bit++ {
+			out, res := c.Decode(FlipBits(entry, bit))
+			if res.Status != Corrected || out != data {
+				t.Fatalf("%s: bit %d -> %v", c.Name(), bit, res.Status)
+			}
+		}
+	}
+}
+
+func TestPublicByteErrorBehaviors(t *testing.T) {
+	var data [DataBytes]byte
+	trio := NewTrioECC()
+	duet := NewDuetECC()
+	entry := trio.Encode(&data)
+	// Full inversion of aligned byte 2: wire bits 16..23.
+	bad := FlipBits(entry, 16, 17, 18, 19, 20, 21, 22, 23)
+	if out, res := trio.Decode(bad); res.Status != Corrected || out != data {
+		t.Fatalf("TrioECC byte error: %v", res.Status)
+	}
+	dEntry := duet.Encode(&data)
+	dBad := FlipBits(dEntry, 16, 17, 18, 19, 20, 21, 22, 23)
+	if _, res := duet.Decode(dBad); res.Status != Detected {
+		t.Fatalf("DuetECC byte error: %v", res.Status)
+	}
+}
+
+func TestPublicReconfigurable(t *testing.T) {
+	rc := NewReconfigurable()
+	if rc.CurrentMode() != ModeDuet {
+		t.Fatal("default mode must be Duet")
+	}
+	var data [DataBytes]byte
+	entry := rc.Encode(&data)
+	bad := FlipBits(entry, 40, 41, 42, 43, 44, 45, 46, 47)
+	if _, res := rc.Decode(bad); res.Status != Detected {
+		t.Fatalf("Duet mode: %v", res.Status)
+	}
+	rc.SetMode(ModeTrio)
+	if out, res := rc.Decode(bad); res.Status != Corrected || out != data {
+		t.Fatalf("Trio mode: %v", res.Status)
+	}
+}
+
+func TestPublicPinFlag(t *testing.T) {
+	if NewSSCDSDPlus().CorrectsPins() {
+		t.Fatal("SSC-DSD+ must report no pin correction")
+	}
+	if !NewTrioECC().CorrectsPins() {
+		t.Fatal("TrioECC must report pin correction")
+	}
+}
+
+func TestEvaluateAndReliability(t *testing.T) {
+	opts := EvalOptions{Seed: 1, Samples: 20000, Parallel: true}
+	base := Evaluate(NewSECDED(), opts)
+	duet := Evaluate(NewDuetECC(), opts)
+	if duet.SDC >= base.SDC/100 {
+		t.Fatalf("DuetECC SDC %.2e vs baseline %.2e", duet.SDC, base.SDC)
+	}
+	rb := ReliabilityOf("SEC-DED", base)
+	rd := ReliabilityOf("DuetECC", duet)
+	if rb.MeetsISO26262 {
+		t.Fatal("SEC-DED must miss the ISO 26262 budget")
+	}
+	if !rd.MeetsISO26262 {
+		t.Fatal("DuetECC must meet the ISO 26262 budget")
+	}
+	if rb.RawFIT != rd.RawFIT || rb.RawFIT <= 0 {
+		t.Fatal("raw FIT must be scheme-independent")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{OK: "OK", Corrected: "Corrected", Detected: "Detected"} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestRejectedOrganizationsExposed(t *testing.T) {
+	var data [DataBytes]byte
+	data[5] = 0x99
+	for _, c := range []*Codec{NewDSC(), NewSSCTSD()} {
+		entry := c.Encode(&data)
+		if out, res := c.Decode(entry); res.Status != OK || out != data {
+			t.Fatalf("%s clean decode: %v", c.Name(), res.Status)
+		}
+		// Single-byte errors corrected by both.
+		bad := FlipBits(entry, 16, 19, 22)
+		if out, res := c.Decode(bad); res.Status != Corrected || out != data {
+			t.Fatalf("%s byte error: %v", c.Name(), res.Status)
+		}
+	}
+	// DSC corrects two independent byte errors; SSC-TSD only detects.
+	dsc, tsd := NewDSC(), NewSSCTSD()
+	dEntry := dsc.Encode(&data)
+	if out, res := dsc.Decode(FlipBits(dEntry, 16, 17, 100, 101)); res.Status != Corrected || out != data {
+		t.Fatalf("DSC double-byte: %v", res.Status)
+	}
+	tEntry := tsd.Encode(&data)
+	if _, res := tsd.Decode(FlipBits(tEntry, 16, 17, 100, 101)); res.Status != Detected {
+		t.Fatalf("SSC-TSD double-byte: %v", res.Status)
+	}
+}

@@ -1,0 +1,93 @@
+package hbm2ecc
+
+// Closed-loop integration tests: the full pipeline of the paper, end to
+// end, with no published numbers in the loop — the simulated beam
+// campaign MEASURES the pattern probabilities, those weights drive the
+// ECC evaluation, and the evaluated outcomes drive the system-level
+// reliability conclusions. The paper's qualitative results must survive
+// the round trip.
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/errormodel"
+	"hbm2ecc/internal/evalmc"
+	"hbm2ecc/internal/experiments"
+	"hbm2ecc/internal/sysrel"
+)
+
+func TestClosedLoopCharacterizationToMitigation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop integration is slow")
+	}
+
+	// 1. Characterize: run a beam campaign and derive Table 1 from it.
+	an := experiments.Campaign(experiments.CampaignConfig{Seed: 77, Runs: 200})
+	measured := an.Table1()
+	var weights [errormodel.NumPatterns]float64
+	for p := range weights {
+		weights[p] = measured[p].P
+	}
+	if weights[errormodel.Bit1] < 0.5 {
+		t.Fatalf("measured 1-bit weight %.3f implausible", weights[errormodel.Bit1])
+	}
+
+	// 2. Mitigate: evaluate the schemes under the MEASURED distribution.
+	opts := evalmc.Options{Seed: 7, Samples3b: 50_000, SamplesBeat: 50_000,
+		SamplesEntry: 50_000, Parallel: true}
+	base := evalmc.Evaluate(core.NewSECDED(false, false), opts).WeightedWith(weights)
+	duet := evalmc.Evaluate(core.NewDuetECC(), opts).WeightedWith(weights)
+	trio := evalmc.Evaluate(core.NewTrioECC(), opts).WeightedWith(weights)
+	dsd := evalmc.Evaluate(core.NewSSCDSDPlus(), opts).WeightedWith(weights)
+
+	// The headline ordering must hold with measured weights too.
+	if red := evalmc.SDCReduction(base, duet); red < 2 {
+		t.Fatalf("closed-loop DuetECC SDC reduction %.2f orders", red)
+	}
+	if trio.DCE <= base.DCE+0.1 {
+		t.Fatalf("closed-loop TrioECC correction %.4f barely above baseline %.4f", trio.DCE, base.DCE)
+	}
+	if dsd.SDC > duet.SDC {
+		t.Fatalf("closed-loop SSC-DSD+ SDC %.2e above DuetECC %.2e", dsd.SDC, duet.SDC)
+	}
+
+	// 3. Conclude: the system-level verdicts must match the paper.
+	gBase := sysrel.FromWeighted(base, sysrel.A100MemoryGb)
+	gDuet := sysrel.FromWeighted(duet, sysrel.A100MemoryGb)
+	gTrio := sysrel.FromWeighted(trio, sysrel.A100MemoryGb)
+	if gBase.MeetsISO26262() {
+		t.Fatal("closed loop: SEC-DED passed ISO 26262")
+	}
+	if !gDuet.MeetsISO26262() || !gTrio.MeetsISO26262() {
+		t.Fatal("closed loop: DuetECC/TrioECC failed ISO 26262")
+	}
+	// Exascale MTTF ordering: Duet (detection-first) outlives Trio. A
+	// zero MTTF means no SDC was observed at all — vacuously longer.
+	d := sysrel.Exascale(gDuet, []float64{1}, 0)[0]
+	tr := sysrel.Exascale(gTrio, []float64{1}, 0)[0]
+	if d.MTTFHours != 0 && tr.MTTFHours != 0 && d.MTTFHours <= tr.MTTFHours {
+		t.Fatal("closed loop: DuetECC MTTF should exceed TrioECC")
+	}
+	if d.MTTIHours >= tr.MTTIHours {
+		t.Fatal("closed loop: TrioECC MTTI should exceed DuetECC")
+	}
+}
+
+func TestMeasuredWeightsCloseToPublished(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	an := experiments.Campaign(experiments.CampaignConfig{Seed: 13, Runs: 250})
+	tab := an.Table1()
+	// The published Table-1 value must fall inside (or very near) the
+	// measured 95% interval for the two dominant classes.
+	for _, p := range []errormodel.Pattern{errormodel.Bit1, errormodel.Byte1} {
+		want := errormodel.Table1[p]
+		lo, hi := tab[p].Lo-0.03, tab[p].Hi+0.03
+		if want < lo || want > hi {
+			t.Fatalf("%v: published %.4f outside measured CI [%.4f, %.4f]",
+				p, want, tab[p].Lo, tab[p].Hi)
+		}
+	}
+}

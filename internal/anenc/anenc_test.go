@@ -1,0 +1,51 @@
+package anenc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(idx uint32) bool {
+		v := Encode(uint64(idx))
+		got, ok := Decode(v)
+		return ok && got == uint64(idx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBitErrorsDetected(t *testing.T) {
+	v := Encode(123456)
+	for bit := 0; bit < 64; bit++ {
+		if Check(v ^ 1<<uint(bit)) {
+			t.Fatalf("bit %d flip undetected", bit)
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	if Encode(0) != 0 {
+		t.Fatal("Encode(0)")
+	}
+	if Encode(1) != A {
+		t.Fatal("Encode(1)")
+	}
+	if _, ok := Decode(A + 1); ok {
+		t.Fatal("A+1 must not decode")
+	}
+}
+
+func TestRandomValuesMostlyInvalid(t *testing.T) {
+	// A random word is a codeword with probability ~1/A.
+	invalid := 0
+	for i := uint64(1); i < 10000; i++ {
+		if !Check(i*2654435761 + 12345) {
+			invalid++
+		}
+	}
+	if invalid < 9990 {
+		t.Fatalf("only %d/9999 random values rejected", invalid)
+	}
+}

@@ -1,0 +1,174 @@
+package beam
+
+import (
+	"math"
+	"testing"
+
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/hbm2"
+)
+
+func newBeam(seed int64) (*dram.Device, *Beam) {
+	dev := dram.New(hbm2.V100(), dram.DefaultRefreshPeriod)
+	return dev, New(dev, Config{Seed: seed})
+}
+
+func TestAccelerationFactor(t *testing.T) {
+	if math.Abs(AccelerationFactor-2.52e8) > 0.01e8 {
+		t.Fatalf("acceleration factor %.3e, paper says 2.52e8", AccelerationFactor)
+	}
+}
+
+func TestFluenceAccrual(t *testing.T) {
+	_, b := newBeam(1)
+	b.Expose(0, 100, 1)
+	want := ChipIRFlux * 100
+	if math.Abs(b.Fluence()-want) > 1e-6 {
+		t.Fatalf("fluence %v, want %v", b.Fluence(), want)
+	}
+	b.Expose(100, 100, 1) // zero-length interval: no change
+	if b.Fluence() != want {
+		t.Fatal("zero interval accrued fluence")
+	}
+}
+
+func TestEventRateScalesWithUtilization(t *testing.T) {
+	countEvents := func(util float64) int {
+		_, b := newBeam(7)
+		n := 0
+		for i := 0; i < 200; i++ {
+			n += len(b.Expose(float64(i)*10, float64(i+1)*10, util))
+		}
+		return n
+	}
+	full := countEvents(1.0)
+	idle := countEvents(0.0)
+	if full <= idle {
+		t.Fatalf("full-utilization events (%d) must exceed idle (%d)", full, idle)
+	}
+	// At idle only array faults occur.
+	_, b := newBeam(8)
+	for i := 0; i < 300; i++ {
+		for _, te := range b.Expose(float64(i)*10, float64(i+1)*10, 0) {
+			if !te.Event.Kind.ArrayFault() {
+				t.Fatalf("logic fault %v at zero utilization", te.Event.Kind)
+			}
+		}
+	}
+}
+
+func TestEventsAppliedToDevice(t *testing.T) {
+	dev, b := newBeam(3)
+	dev.WriteAll(func(int64) [hbm2.EntryBytes]byte { return [hbm2.EntryBytes]byte{} }, 0)
+	var events []TimedEvent
+	for i := 0; events == nil && i < 1000; i++ {
+		events = b.Expose(float64(i)*30, float64(i+1)*30, 1)
+	}
+	if events == nil {
+		t.Fatal("no events in 30000 beam-seconds")
+	}
+	if len(dev.InterestingEntries()) == 0 {
+		t.Fatal("events not applied to the device")
+	}
+	// Events must be time-ordered within the interval.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatal("events not time-ordered")
+		}
+	}
+}
+
+func TestWeakCellAccumulationSaturates(t *testing.T) {
+	dev, b := newBeam(4)
+	m := b.Damage
+	// Expose to 5 saturation fluences.
+	dur := 5 * m.SaturationFluence / b.Flux
+	b.Expose(0, dur, 0)
+	n := dev.WeakCellCount()
+	if math.Abs(float64(n)-float64(m.Pool)) > 0.15*float64(m.Pool) {
+		t.Fatalf("saturated pool %d, want ~%d", n, m.Pool)
+	}
+	if b.WeakCellsCreated() != n {
+		t.Fatal("creation counter disagrees with device")
+	}
+}
+
+func TestExpectedWeakCellsLinearEarly(t *testing.T) {
+	m := DefaultDamage()
+	small := m.SaturationFluence / 100
+	n1 := m.ExpectedWeakCells(small)
+	n2 := m.ExpectedWeakCells(2 * small)
+	// Early regime: near-linear (within 2%).
+	if math.Abs(n2/n1-2) > 0.04 {
+		t.Fatalf("early accumulation not linear: %v vs %v", n1, n2)
+	}
+	// Saturation: asymptote at the pool size.
+	if sat := m.ExpectedWeakCells(100 * m.SaturationFluence); math.Abs(sat-float64(m.Pool)) > 1 {
+		t.Fatalf("saturation %v, want %d", sat, m.Pool)
+	}
+}
+
+func TestRestAnnealsRetention(t *testing.T) {
+	dev, b := newBeam(5)
+	if dev.RetentionShift() != 0 {
+		t.Fatal("initial shift nonzero")
+	}
+	b.Rest(b.Damage.AnnealTimeConstant)
+	s1 := dev.RetentionShift()
+	if s1 <= 0 {
+		t.Fatal("no annealing after rest")
+	}
+	b.Rest(100 * b.Damage.AnnealTimeConstant)
+	s2 := dev.RetentionShift()
+	if s2 <= s1 {
+		t.Fatal("annealing must increase with rest time")
+	}
+	if s2 > b.Damage.AnnealShiftMax+1e-12 {
+		t.Fatalf("annealing shift %v exceeds max %v", s2, b.Damage.AnnealShiftMax)
+	}
+}
+
+func TestWeakCellLeakDirectionMix(t *testing.T) {
+	dev, b := newBeam(6)
+	b.Expose(0, 10*b.Damage.SaturationFluence/b.Flux, 0)
+	oneToZero, zeroToOne := 0, 0
+	for _, cells := range dev.WeakCells() {
+		for _, w := range cells {
+			if w.LeakTo == 0 {
+				oneToZero++
+			} else {
+				zeroToOne++
+			}
+			if w.Retention < 1e-4 {
+				t.Fatal("retention below clamp")
+			}
+			if w.Bit < 0 || w.Bit >= 288 {
+				t.Fatalf("weak cell bit %d out of range", w.Bit)
+			}
+		}
+	}
+	total := oneToZero + zeroToOne
+	frac := float64(oneToZero) / float64(total)
+	// Paper: 99.8% ± 0.16% leak 1->0.
+	if frac < 0.99 {
+		t.Fatalf("1->0 fraction %.4f, want ~0.998", frac)
+	}
+	if zeroToOne == 0 {
+		t.Log("no 0->1 cells in this draw (expected ~0.2%)")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, b1 := newBeam(9)
+	_, b2 := newBeam(9)
+	e1 := b1.Expose(0, 1000, 1)
+	e2 := b2.Expose(0, 1000, 1)
+	if len(e1) != len(e2) {
+		t.Fatalf("non-deterministic event counts: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i].Time != e2[i].Time || e1[i].Event.Kind != e2[i].Event.Kind {
+			t.Fatal("non-deterministic event stream")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package codesearch
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/gf2"
+)
+
+func TestSearchFindsValidCode(t *testing.T) {
+	res := Search(Options{Seed: 1, Population: 8, Generations: 5})
+	fit, err := Validate(res.Cols)
+	if err != nil {
+		t.Fatalf("search produced invalid code: %v", err)
+	}
+	if fit != res.Collisions {
+		t.Fatalf("Validate fitness %d != search fitness %d", fit, res.Collisions)
+	}
+	// The code must remain a valid systematic H (and hence SEC-DED,
+	// since all columns are odd weight and distinct).
+	h, err := gf2.NewH72(res.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsSECDED() {
+		t.Fatal("searched code is not SEC-DED")
+	}
+	if !h.AllColumnsOddWeight() {
+		t.Fatal("searched code has even-weight columns")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	a := Search(Options{Seed: 7, Population: 6, Generations: 3})
+	b := Search(Options{Seed: 7, Population: 6, Generations: 3})
+	if a.Cols != b.Cols || a.Collisions != b.Collisions {
+		t.Fatal("search must be deterministic for a fixed seed")
+	}
+}
+
+func TestGAImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA improvement check is slow")
+	}
+	res := Search(Options{Seed: 3, Population: 8, Generations: 3})
+	if res.Collisions > res.InitialCollisions {
+		t.Fatalf("GA regressed: %d -> %d", res.InitialCollisions, res.Collisions)
+	}
+}
+
+func TestValidateRejectsBadMatrices(t *testing.T) {
+	res := Search(Options{Seed: 2, Population: 6, Generations: 2})
+
+	bad := res.Cols
+	bad[0] = bad[1] // duplicate column
+	if _, err := Validate(bad); err == nil {
+		t.Fatal("duplicate column must be rejected")
+	}
+
+	bad = res.Cols
+	bad[0] = 0x03 // even weight
+	if _, err := Validate(bad); err == nil {
+		t.Fatal("even-weight column must be rejected")
+	}
+
+	bad = res.Cols
+	bad[gf2.K] = 0x07 // non-identity check column
+	if _, err := Validate(bad); err == nil {
+		t.Fatal("non-identity check column must be rejected")
+	}
+}

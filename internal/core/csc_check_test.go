@@ -1,0 +1,28 @@
+package core
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/ecc"
+)
+
+// Verify the full-byte TrioECC correction path exercises the CSC with four
+// codewords each correcting one 2b symbol, all byte-local.
+func TestTrioByteCorrectionUsesFourCodewords(t *testing.T) {
+	s := NewTrioECC()
+	var data [bitvec.DataBytes]byte
+	wire := s.Encode(data)
+	base := bitvec.ByteBase(13)
+	bad := wire
+	for k := 0; k < 8; k++ {
+		bad = bad.FlipBit(base + k)
+	}
+	wr := s.DecodeWire(bad)
+	if wr.Status != ecc.Corrected || wr.CorrectedBits != 8 {
+		t.Fatalf("byte error: %v corrected=%d", wr.Status, wr.CorrectedBits)
+	}
+	if wr.Wire != wire {
+		t.Fatal("byte error not restored")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/ecc"
+)
+
+func TestDSCRoundTripAndSingleBit(t *testing.T) {
+	s := NewDSC()
+	rng := rand.New(rand.NewSource(1))
+	data := randomData(rng)
+	wire := s.Encode(data)
+	if got := s.ExtractData(wire); got != data {
+		t.Fatal("round trip broken")
+	}
+	for bit := 0; bit < bitvec.EntryBits; bit += 7 {
+		res := s.Decode(wire.FlipBit(bit))
+		if res.Status != ecc.Corrected || res.Data != data {
+			t.Fatalf("bit %d: %v", bit, res.Status)
+		}
+	}
+}
+
+func TestDSCCorrectsTwoByteErrors(t *testing.T) {
+	// The capability SSC-DSD+ gives up: two independent byte errors in
+	// one entry, both corrected.
+	s := NewDSC()
+	dsd := NewSSCDSDPlus()
+	var data [bitvec.DataBytes]byte
+	wire := s.Encode(data)
+	dsdWire := dsd.Encode(data)
+
+	b1 := bitvec.ByteBase(3)
+	b2 := bitvec.ByteBase(20)
+	bad := wire.FlipBit(b1).FlipBit(b1 + 5).FlipBit(b2 + 1).FlipBit(b2 + 7)
+	res := s.Decode(bad)
+	if res.Status != ecc.Corrected || res.Data != data {
+		t.Fatalf("DSC on double-byte error: %v", res.Status)
+	}
+	// SSC-DSD+ detects the same error but cannot correct it.
+	dsdBad := dsdWire.FlipBit(b1).FlipBit(b1 + 5).FlipBit(b2 + 1).FlipBit(b2 + 7)
+	if res := dsd.Decode(dsdBad); res.Status != ecc.Detected {
+		t.Fatalf("SSC-DSD+ on double-byte error: %v", res.Status)
+	}
+}
+
+func TestDSCPinErrors(t *testing.T) {
+	// A pin error spans up to 4 symbols: 2-beat glitches (2 symbols) are
+	// corrected, 3- and 4-beat glitches exceed t=2 and must be detected.
+	s := NewDSC()
+	var data [bitvec.DataBytes]byte
+	wire := s.Encode(data)
+	pins := bitvec.PinBits(9)
+
+	two := wire.FlipBit(pins[0]).FlipBit(pins[2])
+	if res := s.Decode(two); res.Status != ecc.Corrected || res.Data != data {
+		t.Fatalf("2-beat pin: %v", res.Status)
+	}
+	four := wire.FlipBit(pins[0]).FlipBit(pins[1]).FlipBit(pins[2]).FlipBit(pins[3])
+	if res := s.Decode(four); res.Status != ecc.Detected {
+		t.Fatalf("4-beat pin: %v", res.Status)
+	}
+	if s.CorrectsPins() {
+		t.Fatal("DSC must not claim full pin correction")
+	}
+}
+
+func TestDSCNeverSilentOnModerateErrors(t *testing.T) {
+	s := NewDSC()
+	rng := rand.New(rand.NewSource(2))
+	data := randomData(rng)
+	wire := s.Encode(data)
+	for trial := 0; trial < 3000; trial++ {
+		bad := wire
+		n := 1 + rng.Intn(16)
+		for k := 0; k < n; k++ {
+			bad = bad.FlipBit(rng.Intn(bitvec.EntryBits))
+		}
+		if bad == wire {
+			continue
+		}
+		res := s.Decode(bad)
+		if out := ecc.Classify(res.Status, res.Data == data, true); out == ecc.NoError {
+			t.Fatal("injected error invisible")
+		}
+	}
+}
+
+func TestSSCTSDDetectsTriples(t *testing.T) {
+	s := NewSSCTSD()
+	rng := rand.New(rand.NewSource(9))
+	data := randomData(rng)
+	wire := s.Encode(data)
+
+	// Single symbol (byte) errors: corrected.
+	base := bitvec.ByteBase(5)
+	bad := wire.FlipBit(base).FlipBit(base + 3).FlipBit(base + 6)
+	if res := s.Decode(bad); res.Status != ecc.Corrected || res.Data != data {
+		t.Fatalf("single-symbol: %v", res.Status)
+	}
+
+	// Two and three corrupted bytes: detected, never corrected or silent.
+	for _, nBytes := range []int{2, 3} {
+		for trial := 0; trial < 2000; trial++ {
+			bad := wire
+			seen := map[int]bool{}
+			for len(seen) < nBytes {
+				by := rng.Intn(bitvec.EntryAlignedBytes)
+				if seen[by] {
+					continue
+				}
+				seen[by] = true
+				b0 := bitvec.ByteBase(by)
+				bad = bad.FlipBit(b0 + rng.Intn(8))
+			}
+			res := s.Decode(bad)
+			if res.Status != ecc.Detected {
+				t.Fatalf("%d-symbol error: %v", nBytes, res.Status)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package core implements the paper's primary contribution: entry-level
+// ECC schemes for GPU HBM2 memory (§6). Every scheme protects one 36B
+// memory entry — 32B of data plus 4B of check bits transmitted over 72
+// pins in 4 beats — using exactly the 12.5% redundancy HBM2 provides.
+//
+// Binary schemes compose four (72,64) codewords per entry out of three
+// orthogonal optimizations:
+//
+//   - logical codeword interleaving (Eq. 1/2), which converts any physical
+//     aligned-byte error into one 2b symbol per codeword and keeps pin
+//     errors at one bit per codeword;
+//   - the correction sanity check (CSC), which converts suspicious
+//     multi-codeword corrections (not byte- or pin-local) into DUEs;
+//   - the GA-searched SEC-2bEC code, which corrects aligned 2b symbols.
+//
+// DuetECC = interleaved SEC-DED + CSC. TrioECC = interleaved SEC-2bEC +
+// CSC. Both operate in the same hardware footprint as the SEC-DED
+// baseline, and a single reconfigurable decoder can switch between them.
+//
+// Symbol-based schemes use Reed-Solomon codes over GF(2^8): an interleaved
+// pair of (18,16) SSC codewords (optionally with CSC), and the (36,32)
+// SSC-DSD+ code with triple-vote one-shot decoding.
+package core
+
+import (
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/ecc"
+)
+
+// DecodeResult is the outcome of decoding one received 36B entry.
+type DecodeResult struct {
+	// Data is the decoded 32B payload (valid unless Status is Detected).
+	Data [bitvec.DataBytes]byte
+	// Status is OK (no error seen), Corrected, or Detected (DUE).
+	Status ecc.Status
+	// CorrectedBits counts wire bits flipped by correction.
+	CorrectedBits int
+}
+
+// WireResult is the fast-path decode outcome used by the Monte-Carlo
+// evaluator: the corrected wire image is compared directly against the
+// transmitted entry, avoiding payload extraction per sample.
+type WireResult struct {
+	// Wire is the corrected 288-bit entry (meaningful unless Detected).
+	Wire bitvec.V288
+	// Status is OK, Corrected, or Detected.
+	Status ecc.Status
+	// CorrectedBits counts wire bits flipped by correction.
+	CorrectedBits int
+}
+
+// Scheme is an entry-level ECC organization. Implementations are safe for
+// concurrent use after construction.
+type Scheme interface {
+	// Name returns the scheme's Table-2 row label (e.g. "DuetECC").
+	Name() string
+	// Encode produces the 288-bit wire entry protecting 32B of data.
+	Encode(data [bitvec.DataBytes]byte) bitvec.V288
+	// DecodeWire decodes a received wire entry, returning the corrected
+	// wire image. If the decoder raises a DUE the wire image is the
+	// received one, unmodified.
+	DecodeWire(recv bitvec.V288) WireResult
+	// Decode decodes a received wire entry down to the data payload.
+	Decode(recv bitvec.V288) DecodeResult
+	// ExtractData recovers the 32B payload from a (corrected) wire entry.
+	ExtractData(wire bitvec.V288) [bitvec.DataBytes]byte
+	// CorrectsPins reports whether the organization preserves single-pin
+	// correction (all schemes except SSC-DSD+).
+	CorrectsPins() bool
+}
+
+// decodeViaWire adapts DecodeWire to the payload-level Decode contract.
+func decodeViaWire(s Scheme, recv bitvec.V288) DecodeResult {
+	wr := s.DecodeWire(recv)
+	res := DecodeResult{Status: wr.Status, CorrectedBits: wr.CorrectedBits}
+	if wr.Status != ecc.Detected {
+		res.Data = s.ExtractData(wr.Wire)
+	}
+	return res
+}
+
+// cscAllows implements the correction sanity check predicate: corrections
+// spanning more than one codeword are allowed to proceed only when all
+// corrected wire bits fall within a single aligned byte or a single pin
+// (§6.1). corrected holds wire bit indices.
+func cscAllows(corrected []int) bool {
+	if len(corrected) < 2 {
+		return true
+	}
+	sameByte, samePin := true, true
+	b0 := bitvec.ByteOfBit(corrected[0])
+	p0 := bitvec.PinOfBit(corrected[0])
+	for _, bit := range corrected[1:] {
+		if bitvec.ByteOfBit(bit) != b0 {
+			sameByte = false
+		}
+		if bitvec.PinOfBit(bit) != p0 {
+			samePin = false
+		}
+		if !sameByte && !samePin {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+// Package crockford implements Crockford's Base32 binary-to-text encoding,
+// the scheme the paper uses to print the SEC-2bEC parity-check matrix
+// (§6.1, Eq. 3). Parity-check rows in this repository are printed and
+// parsed in the same format so that searched codes can be published and
+// re-imported losslessly.
+package crockford
+
+import (
+	"fmt"
+	"strings"
+)
+
+const alphabet = "0123456789ABCDEFGHJKMNPQRSTVWXYZ"
+
+var decodeMap = func() [256]int8 {
+	var m [256]int8
+	for i := range m {
+		m[i] = -1
+	}
+	for i := 0; i < len(alphabet); i++ {
+		c := alphabet[i]
+		m[c] = int8(i)
+		m[c|0x20] = int8(i) // lowercase
+	}
+	// Crockford decoding aliases.
+	for _, c := range "oO" {
+		m[c] = 0
+	}
+	for _, c := range "iIlL" {
+		m[c] = 1
+	}
+	return m
+}()
+
+// EncodeBits encodes the low nbits of v (MSB first) as Crockford Base32.
+// nbits is rounded up to a multiple of 5 by zero-padding at the MSB end,
+// matching how short binary rows are conventionally printed.
+func EncodeBits(v uint64, nbits int) string {
+	chars := (nbits + 4) / 5
+	var sb strings.Builder
+	sb.Grow(chars)
+	total := chars * 5
+	for i := 0; i < chars; i++ {
+		shift := uint(total - 5*(i+1))
+		sb.WriteByte(alphabet[(v>>shift)&31])
+	}
+	return sb.String()
+}
+
+// DecodeBits decodes a Crockford Base32 string into its bit value. It
+// returns the value and the number of encoded bits (5 per character).
+// Hyphens are ignored, per Crockford's specification.
+func DecodeBits(s string) (uint64, int, error) {
+	var v uint64
+	bits := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '-' {
+			continue
+		}
+		d := decodeMap[c]
+		if d < 0 {
+			return 0, 0, fmt.Errorf("crockford: invalid character %q at %d", c, i)
+		}
+		if bits+5 > 64 {
+			return 0, 0, fmt.Errorf("crockford: value exceeds 64 bits")
+		}
+		v = v<<5 | uint64(d)
+		bits += 5
+	}
+	return v, bits, nil
+}
+
+// EncodeRow encodes a 72-bit parity-check row (lo holds bits 0..63, hi the
+// top 8 bits) as 15 Base32 characters (75 bits, 3 leading zero pad bits),
+// the same shape as the paper's printed matrix rows.
+func EncodeRow(lo, hi uint64) string {
+	var sb strings.Builder
+	sb.Grow(15)
+	// The 75-bit stream is [0,0,0, row71, row70, ..., row0]; stream index i
+	// (0 = MSB) carries row bit 74-i once past the 3 pad bits.
+	get := func(i int) uint64 {
+		if i < 3 {
+			return 0
+		}
+		bitIdx := 74 - i
+		if bitIdx >= 64 {
+			return (hi >> uint(bitIdx-64)) & 1
+		}
+		return (lo >> uint(bitIdx)) & 1
+	}
+	for c := 0; c < 15; c++ {
+		var d uint64
+		for b := 0; b < 5; b++ {
+			d = d<<1 | get(c*5+b)
+		}
+		sb.WriteByte(alphabet[d])
+	}
+	return sb.String()
+}
+
+// DecodeRow parses a 15-character row produced by EncodeRow back into the
+// 72-bit (lo, hi) pair.
+func DecodeRow(s string) (lo, hi uint64, err error) {
+	clean := strings.ReplaceAll(s, "-", "")
+	if len(clean) != 15 {
+		return 0, 0, fmt.Errorf("crockford: row must be 15 characters, got %d", len(clean))
+	}
+	var bitsMSB [75]uint64
+	for i := 0; i < 15; i++ {
+		d := decodeMap[clean[i]]
+		if d < 0 {
+			return 0, 0, fmt.Errorf("crockford: invalid character %q", clean[i])
+		}
+		for b := 0; b < 5; b++ {
+			bitsMSB[i*5+b] = uint64(d>>uint(4-b)) & 1
+		}
+	}
+	// First 3 stream bits are padding; next 72 are row bits 71..0.
+	for i := 0; i < 72; i++ {
+		bit := bitsMSB[3+i]
+		pos := 71 - i
+		if pos >= 64 {
+			hi |= bit << uint(pos-64)
+		} else {
+			lo |= bit << uint(pos)
+		}
+	}
+	return lo, hi, nil
+}

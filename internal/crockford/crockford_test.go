@@ -1,0 +1,107 @@
+package crockford
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeBitsKnown(t *testing.T) {
+	// 5 bits: value 0..31 map straight to the alphabet.
+	cases := []struct {
+		v    uint64
+		bits int
+		want string
+	}{
+		{0, 5, "0"},
+		{9, 5, "9"},
+		{10, 5, "A"},
+		{17, 5, "H"},
+		{18, 5, "J"}, // I skipped
+		{31, 5, "Z"},
+		{0x1F, 10, "0Z"},
+		{1 << 5, 10, "10"},
+	}
+	for _, c := range cases {
+		if got := EncodeBits(c.v, c.bits); got != c.want {
+			t.Errorf("EncodeBits(%#x,%d) = %q, want %q", c.v, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestDecodeBitsAliases(t *testing.T) {
+	for _, s := range []string{"O", "o"} {
+		v, _, err := DecodeBits(s)
+		if err != nil || v != 0 {
+			t.Errorf("DecodeBits(%q) = %d, %v; want 0", s, v, err)
+		}
+	}
+	for _, s := range []string{"I", "i", "L", "l"} {
+		v, _, err := DecodeBits(s)
+		if err != nil || v != 1 {
+			t.Errorf("DecodeBits(%q) = %d, %v; want 1", s, v, err)
+		}
+	}
+	if _, _, err := DecodeBits("U"); err == nil {
+		t.Error("U must be rejected")
+	}
+	if _, _, err := DecodeBits("A-B-C"); err != nil {
+		t.Errorf("hyphens must be ignored: %v", err)
+	}
+}
+
+func TestEncodeDecodeBitsRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= (1 << 60) - 1 // 12 chars
+		s := EncodeBits(v, 60)
+		got, bits, err := DecodeBits(s)
+		return err == nil && bits == 60 && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		lo := rng.Uint64()
+		hi := rng.Uint64() & 0xFF
+		s := EncodeRow(lo, hi)
+		if len(s) != 15 {
+			t.Fatalf("row length %d", len(s))
+		}
+		glo, ghi, err := DecodeRow(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if glo != lo || ghi != hi {
+			t.Fatalf("round trip (%#x,%#x) -> %q -> (%#x,%#x)", lo, hi, s, glo, ghi)
+		}
+	}
+}
+
+func TestRowKnownPatterns(t *testing.T) {
+	// All-zero row is 15 zeros.
+	if s := EncodeRow(0, 0); s != "000000000000000" {
+		t.Fatalf("zero row = %q", s)
+	}
+	// Bit 0 set: last character is '1'.
+	if s := EncodeRow(1, 0); s != "000000000000001" {
+		t.Fatalf("bit0 row = %q", s)
+	}
+	// Bit 71 set: the 75-bit stream is 000 1 000... so the first char is
+	// binary 00010 = 2.
+	if s := EncodeRow(0, 0x80); s != "200000000000000" {
+		t.Fatalf("bit71 row = %q", s)
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	if _, _, err := DecodeRow("SHORT"); err == nil {
+		t.Error("short row must error")
+	}
+	if _, _, err := DecodeRow("UUUUUUUUUUUUUUU"); err == nil {
+		t.Error("invalid characters must error")
+	}
+}

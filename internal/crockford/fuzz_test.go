@@ -1,0 +1,27 @@
+package crockford
+
+import "testing"
+
+// FuzzDecodeRow checks that DecodeRow never panics and that every
+// successfully-decoded row re-encodes to a canonical form that decodes to
+// the same value.
+func FuzzDecodeRow(f *testing.F) {
+	f.Add("00G2EEDYZRXVJX2")
+	f.Add("000000000000000")
+	f.Add("ZZZZZZZZZZZZZZZ")
+	f.Add("---")
+	f.Fuzz(func(t *testing.T, s string) {
+		lo, hi, err := DecodeRow(s)
+		if err != nil {
+			return
+		}
+		if hi > 0xFF {
+			t.Fatalf("decoded hi %#x exceeds 8 bits", hi)
+		}
+		round := EncodeRow(lo, hi)
+		lo2, hi2, err := DecodeRow(round)
+		if err != nil || lo2 != lo || hi2 != hi {
+			t.Fatalf("canonical round trip broke: %q", round)
+		}
+	})
+}

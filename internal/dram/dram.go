@@ -1,0 +1,243 @@
+// Package dram simulates the HBM2 DRAM device at cell granularity, with a
+// sparse representation: the (up to 32GB) array is backed by a data-pattern
+// function, and only deviations from the written pattern — soft-error
+// corruption and displacement-damaged weak cells — are stored explicitly.
+// Reads reconstruct the stored 36B entry (data + ECC area), apply
+// corruption and retention effects, and return the wire image.
+//
+// Weak-cell behavior follows §4: a damaged cell's retention time τ is
+// drawn from a normal distribution; the cell reads wrong when τ (plus any
+// annealing shift) is below the refresh period and the stored value is the
+// leak-susceptible one — 99.8% of damaged cells leak 1→0. Increasing the
+// refresh period exposes more weak cells exactly along the retention-time
+// CDF, which is what Fig. 3a/3b measure.
+package dram
+
+import (
+	"sort"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/hbm2"
+)
+
+// PatternFn generates the written 32B data payload of an entry. It stands
+// in for the actual array contents, which are never materialized.
+type PatternFn func(idx int64) [hbm2.EntryBytes]byte
+
+// Corruption is a persistent deviation of an entry's stored charge,
+// expressed on the 288-bit wire image (32B data + 4B ECC area). Stuck
+// regions model inversion-type logic faults whose visibility depends on
+// the written data (§5's data-dependent inversion errors): bits under
+// SetMask read as SetVal regardless of what was written.
+type Corruption struct {
+	Xor     bitvec.V288
+	SetMask bitvec.V288
+	SetVal  bitvec.V288
+}
+
+// Merge layers another corruption on top of this one.
+func (c *Corruption) Merge(o Corruption) {
+	c.Xor = c.Xor.Xor(o.Xor)
+	c.SetMask = c.SetMask.Or(o.SetMask)
+	andNot := o.SetMask
+	for i := range c.SetVal {
+		c.SetVal[i] = c.SetVal[i]&^andNot[i] | o.SetVal[i]&andNot[i]
+	}
+}
+
+// IsZero reports whether the corruption has no effect.
+func (c Corruption) IsZero() bool { return c.Xor.IsZero() && c.SetMask.IsZero() }
+
+// WeakCell is one displacement-damaged cell.
+type WeakCell struct {
+	Bit       int     // wire bit 0..287 within its entry
+	Retention float64 // seconds of charge retention when created
+	LeakTo    uint    // the value the cell decays to (0 for 99.8%)
+}
+
+// Device is a simulated HBM2 DRAM device. It is not safe for concurrent
+// use; the simulation is single-threaded by design (one GPU, one beam).
+type Device struct {
+	Cfg           hbm2.Config
+	RefreshPeriod float64 // seconds (HBM2 default 16ms)
+
+	pattern PatternFn
+	// wireFor converts a written payload to the stored 288-bit image;
+	// nil means the standard layout with a zero ECC area.
+	wireFor   func(data [hbm2.EntryBytes]byte) bitvec.V288
+	lastWrite float64
+
+	corrupt map[int64]*Corruption
+	weak    map[int64][]WeakCell
+	// retentionShift models annealing: it is added to every weak cell's
+	// retention time.
+	retentionShift float64
+	weakCount      int
+}
+
+// DefaultRefreshPeriod is the HBM2 default of 16ms.
+const DefaultRefreshPeriod = 0.016
+
+// New creates a device with everything intact and an all-zero pattern.
+func New(cfg hbm2.Config, refreshPeriod float64) *Device {
+	return &Device{
+		Cfg:           cfg,
+		RefreshPeriod: refreshPeriod,
+		pattern:       func(int64) [hbm2.EntryBytes]byte { return [hbm2.EntryBytes]byte{} },
+		corrupt:       make(map[int64]*Corruption),
+		weak:          make(map[int64][]WeakCell),
+	}
+}
+
+// WriteAll simulates the microbenchmark's full-memory write pass at time t:
+// the new pattern replaces all stored charge, clearing soft-error
+// corruption (soft errors persist only until the next write). Weak cells
+// remain damaged — the damage is physical.
+func (d *Device) WriteAll(pat PatternFn, t float64) {
+	d.pattern = pat
+	d.lastWrite = t
+	d.corrupt = make(map[int64]*Corruption)
+}
+
+// SetECCGenerator installs a check-byte generator so that reads reconstruct
+// a full 36B wire image in the standard layout (used when simulating with
+// GPU DRAM ECC enabled). A nil generator leaves the ECC area zero.
+func (d *Device) SetECCGenerator(gen func(data [hbm2.EntryBytes]byte) [4]byte) {
+	if gen == nil {
+		d.wireFor = nil
+		return
+	}
+	d.wireFor = func(data [hbm2.EntryBytes]byte) bitvec.V288 {
+		return bitvec.FromDataECC(data, gen(data))
+	}
+}
+
+// SetWireEncoder installs an arbitrary payload-to-wire encoder — e.g. an
+// interleaved ECC scheme whose wire layout scrambles data and check bits.
+// Corruption and weak cells always act on physical wire bits, so fault
+// semantics are unchanged.
+func (d *Device) SetWireEncoder(enc func(data [hbm2.EntryBytes]byte) bitvec.V288) {
+	d.wireFor = enc
+}
+
+// LastWrite returns the time of the last full write pass.
+func (d *Device) LastWrite() float64 { return d.lastWrite }
+
+// InjectCorruption layers a soft-error corruption onto an entry.
+func (d *Device) InjectCorruption(idx int64, c Corruption) {
+	if cur, ok := d.corrupt[idx]; ok {
+		cur.Merge(c)
+		return
+	}
+	cc := c
+	d.corrupt[idx] = &cc
+}
+
+// AddWeakCell registers a displacement-damaged cell.
+func (d *Device) AddWeakCell(idx int64, w WeakCell) {
+	d.weak[idx] = append(d.weak[idx], w)
+	d.weakCount++
+}
+
+// WeakCellCount returns the total number of damaged cells (regardless of
+// whether the current refresh period exposes them).
+func (d *Device) WeakCellCount() int { return d.weakCount }
+
+// SetRetentionShift sets the annealing shift added to every weak cell's
+// retention time.
+func (d *Device) SetRetentionShift(s float64) { d.retentionShift = s }
+
+// RetentionShift returns the current annealing shift.
+func (d *Device) RetentionShift() float64 { return d.retentionShift }
+
+// ReadWire returns the stored 36B entry at time t with all fault effects
+// applied.
+func (d *Device) ReadWire(idx int64, t float64) bitvec.V288 {
+	data := d.pattern(idx)
+	var wire bitvec.V288
+	if d.wireFor != nil {
+		wire = d.wireFor(data)
+	} else {
+		wire = bitvec.FromDataECC(data, [4]byte{})
+	}
+	if c, ok := d.corrupt[idx]; ok {
+		for i := range wire {
+			wire[i] = wire[i]&^c.SetMask[i] | c.SetVal[i]&c.SetMask[i]
+		}
+		wire = wire.Xor(c.Xor)
+	}
+	for _, w := range d.weak[idx] {
+		eff := w.Retention + d.retentionShift
+		if eff < d.RefreshPeriod && t-d.lastWrite > eff {
+			if wire.Bit(w.Bit) != w.LeakTo&1 {
+				wire = wire.SetBit(w.Bit, w.LeakTo)
+			}
+		}
+	}
+	return wire
+}
+
+// ReadEntry returns the 32B data payload at time t with fault effects.
+func (d *Device) ReadEntry(idx int64, t float64) [hbm2.EntryBytes]byte {
+	data, _ := d.ReadWire(idx, t).DataECC()
+	return data
+}
+
+// Expected returns the fault-free payload the pattern wrote.
+func (d *Device) Expected(idx int64) [hbm2.EntryBytes]byte { return d.pattern(idx) }
+
+// InterestingEntries returns, sorted, every entry that could possibly
+// mismatch its written pattern: entries with corruption or weak cells.
+// The microbenchmark scans all of memory; only these can produce log
+// records, so the simulation visits exactly these.
+func (d *Device) InterestingEntries() []int64 {
+	seen := make(map[int64]struct{}, len(d.corrupt)+len(d.weak))
+	for idx := range d.corrupt {
+		seen[idx] = struct{}{}
+	}
+	for idx := range d.weak {
+		seen[idx] = struct{}{}
+	}
+	out := make([]int64, 0, len(seen))
+	for idx := range seen {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExposedWeakCellCount counts damaged cells whose effective retention is
+// below the given refresh period — the number a refresh-sweep experiment
+// observes (assuming the stored data exercises the leak direction).
+func (d *Device) ExposedWeakCellCount(refreshPeriod float64) int {
+	n := 0
+	for _, cells := range d.weak {
+		for _, w := range cells {
+			if w.Retention+d.retentionShift < refreshPeriod {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RangeWeakCells calls fn for every damaged cell without copying; fn
+// returning false stops the iteration.
+func (d *Device) RangeWeakCells(fn func(entry int64, w WeakCell) bool) {
+	for entry, cells := range d.weak {
+		for _, w := range cells {
+			if !fn(entry, w) {
+				return
+			}
+		}
+	}
+}
+
+// WeakCells returns a copy of all damaged cells keyed by entry.
+func (d *Device) WeakCells() map[int64][]WeakCell {
+	out := make(map[int64][]WeakCell, len(d.weak))
+	for k, v := range d.weak {
+		out[k] = append([]WeakCell(nil), v...)
+	}
+	return out
+}

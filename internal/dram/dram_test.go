@@ -1,0 +1,188 @@
+package dram
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/hbm2"
+)
+
+func patConst(b byte) PatternFn {
+	return func(int64) [hbm2.EntryBytes]byte {
+		var d [hbm2.EntryBytes]byte
+		for i := range d {
+			d[i] = b
+		}
+		return d
+	}
+}
+
+func TestCleanReads(t *testing.T) {
+	d := New(hbm2.V100(), DefaultRefreshPeriod)
+	d.WriteAll(patConst(0x5A), 0)
+	for _, idx := range []int64{0, 12345, 1 << 29} {
+		if got := d.ReadEntry(idx, 1.0); got != patConst(0x5A)(idx) {
+			t.Fatalf("entry %d corrupted on clean device", idx)
+		}
+	}
+	if len(d.InterestingEntries()) != 0 {
+		t.Fatal("clean device must have no interesting entries")
+	}
+}
+
+func TestCorruptionXor(t *testing.T) {
+	d := New(hbm2.V100(), DefaultRefreshPeriod)
+	d.WriteAll(patConst(0), 0)
+	var c Corruption
+	c.Xor = c.Xor.FlipBit(bitvec.ByteBase(3) + 2)
+	d.InjectCorruption(42, c)
+
+	got := d.ReadEntry(42, 1.0)
+	if got[3] != 0x04 {
+		t.Fatalf("byte 3 = %#x, want 0x04", got[3])
+	}
+	// Other entries unaffected.
+	if d.ReadEntry(43, 1.0) != patConst(0)(43) {
+		t.Fatal("neighbor corrupted")
+	}
+	// A write clears the corruption (soft error semantics).
+	d.WriteAll(patConst(0), 2.0)
+	if d.ReadEntry(42, 3.0) != patConst(0)(42) {
+		t.Fatal("write did not clear corruption")
+	}
+}
+
+func TestCorruptionStuckAt(t *testing.T) {
+	// A stuck-at-0 region is invisible under all-zero data but inverts
+	// under all-ones data — the data-dependent inversion errors of §5.
+	d := New(hbm2.V100(), DefaultRefreshPeriod)
+	var c Corruption
+	base := bitvec.ByteBase(7)
+	for k := 0; k < 8; k++ {
+		c.SetMask = c.SetMask.SetBit(base+k, 1)
+	}
+	// SetVal stays zero: stuck at 0.
+	d.WriteAll(patConst(0), 0)
+	d.InjectCorruption(7, c)
+	if got := d.ReadEntry(7, 0.5); got != patConst(0)(7) {
+		t.Fatal("stuck-at-0 visible under all-zero data")
+	}
+	d2 := New(hbm2.V100(), DefaultRefreshPeriod)
+	d2.WriteAll(patConst(0xFF), 0)
+	d2.InjectCorruption(7, c)
+	got := d2.ReadEntry(7, 0.5)
+	if got[7] != 0 {
+		t.Fatalf("stuck byte reads %#x under all-ones", got[7])
+	}
+	for i, b := range got {
+		if i != 7 && b != 0xFF {
+			t.Fatalf("byte %d clobbered", i)
+		}
+	}
+}
+
+func TestCorruptionMerge(t *testing.T) {
+	var a, b Corruption
+	a.Xor = a.Xor.FlipBit(0)
+	b.Xor = b.Xor.FlipBit(0).FlipBit(1)
+	b.SetMask = b.SetMask.SetBit(10, 1)
+	b.SetVal = b.SetVal.SetBit(10, 1)
+	a.Merge(b)
+	if a.Xor.Bit(0) != 0 || a.Xor.Bit(1) != 1 {
+		t.Fatal("xor merge wrong")
+	}
+	if a.SetMask.Bit(10) != 1 || a.SetVal.Bit(10) != 1 {
+		t.Fatal("set merge wrong")
+	}
+	if (Corruption{}).IsZero() != true || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestWeakCellRetention(t *testing.T) {
+	d := New(hbm2.V100(), 0.016)
+	d.WriteAll(patConst(0xFF), 0)
+	bit := bitvec.ByteBase(0) // bit 0 of byte 0
+	d.AddWeakCell(99, WeakCell{Bit: bit, Retention: 0.008, LeakTo: 0})
+
+	// Before the retention time elapses the cell still reads correctly.
+	if got := d.ReadEntry(99, 0.004); got[0] != 0xFF {
+		t.Fatalf("cell leaked too early: %#x", got[0])
+	}
+	// After retention, it reads 0.
+	if got := d.ReadEntry(99, 0.010); got[0] != 0xFE {
+		t.Fatalf("cell did not leak: %#x", got[0])
+	}
+	// With a refresh period below the retention time, refresh saves it.
+	d.RefreshPeriod = 0.004
+	if got := d.ReadEntry(99, 0.010); got[0] != 0xFF {
+		t.Fatalf("refresh did not save the cell: %#x", got[0])
+	}
+}
+
+func TestWeakCellUnidirectional(t *testing.T) {
+	// A 1->0 leaking cell is invisible when a 0 is stored.
+	d := New(hbm2.V100(), 0.016)
+	d.WriteAll(patConst(0), 0)
+	d.AddWeakCell(5, WeakCell{Bit: 0, Retention: 0.001, LeakTo: 0})
+	if got := d.ReadEntry(5, 1.0); got[0] != 0 {
+		t.Fatalf("leak to stored value changed data: %#x", got[0])
+	}
+	// Writing ones exposes it.
+	d.WriteAll(patConst(0xFF), 2.0)
+	if got := d.ReadEntry(5, 3.0); got[0] != 0xFE {
+		t.Fatalf("leak not exposed: %#x", got[0])
+	}
+}
+
+func TestExposedWeakCellCountAndAnnealing(t *testing.T) {
+	d := New(hbm2.V100(), 0.016)
+	retentions := []float64{0.002, 0.010, 0.020, 0.040}
+	for i, r := range retentions {
+		d.AddWeakCell(int64(i), WeakCell{Bit: 0, Retention: r})
+	}
+	if got := d.ExposedWeakCellCount(0.016); got != 2 {
+		t.Fatalf("exposed at 16ms = %d, want 2", got)
+	}
+	if got := d.ExposedWeakCellCount(0.048); got != 4 {
+		t.Fatalf("exposed at 48ms = %d, want 4", got)
+	}
+	// Annealing shifts retention up: fewer cells exposed.
+	d.SetRetentionShift(0.007)
+	if got := d.ExposedWeakCellCount(0.016); got != 1 {
+		t.Fatalf("exposed after annealing = %d, want 1", got)
+	}
+	if d.RetentionShift() != 0.007 {
+		t.Fatal("RetentionShift accessor wrong")
+	}
+	if d.WeakCellCount() != 4 {
+		t.Fatal("WeakCellCount must count all damaged cells")
+	}
+	if got := len(d.WeakCells()); got != 4 {
+		t.Fatalf("WeakCells() entries = %d", got)
+	}
+}
+
+func TestInterestingEntriesSorted(t *testing.T) {
+	d := New(hbm2.V100(), 0.016)
+	d.InjectCorruption(500, Corruption{Xor: bitvec.V288{}.FlipBit(1)})
+	d.AddWeakCell(100, WeakCell{Bit: 0, Retention: 1})
+	d.AddWeakCell(500, WeakCell{Bit: 1, Retention: 1})
+	got := d.InterestingEntries()
+	if len(got) != 2 || got[0] != 100 || got[1] != 500 {
+		t.Fatalf("InterestingEntries = %v", got)
+	}
+}
+
+func TestECCGenerator(t *testing.T) {
+	d := New(hbm2.V100(), 0.016)
+	d.SetECCGenerator(func(data [hbm2.EntryBytes]byte) [4]byte {
+		return [4]byte{data[0], data[1], data[2], data[3]}
+	})
+	d.WriteAll(patConst(0xAB), 0)
+	wire := d.ReadWire(0, 1.0)
+	_, ecc := wire.DataECC()
+	if ecc != [4]byte{0xAB, 0xAB, 0xAB, 0xAB} {
+		t.Fatalf("ecc area = %v", ecc)
+	}
+}

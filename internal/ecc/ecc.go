@@ -1,0 +1,83 @@
+// Package ecc defines the small shared vocabulary of ECC decode outcomes
+// used by every code family in the repository (binary Hsiao/SEC-2bEC and
+// symbol-based Reed-Solomon), and the classification of decode results
+// against ground truth used by the evaluation engine.
+package ecc
+
+// Status is the per-decode outcome reported by a decoder, before comparing
+// against ground truth.
+type Status int
+
+const (
+	// OK means the syndrome was zero: the decoder saw no error.
+	OK Status = iota
+	// Corrected means the decoder applied a correction it believed in.
+	Corrected
+	// Detected means the decoder flagged a detected-but-uncorrectable
+	// error (a DUE is raised and the data is discarded).
+	Detected
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case Corrected:
+		return "Corrected"
+	case Detected:
+		return "Detected"
+	default:
+		return "Status(?)"
+	}
+}
+
+// Outcome classifies a decode against the known-injected error, the
+// categories of the paper's Table 2 and Fig. 8.
+type Outcome int
+
+const (
+	// NoError: nothing was injected and nothing was reported.
+	NoError Outcome = iota
+	// DCE: detected-and-corrected error — the decoder returned the
+	// original data (with or without explicit correction).
+	DCE
+	// DUE: detected-yet-uncorrected error — the decoder raised a
+	// detection; the data is discarded, no corruption escapes.
+	DUE
+	// SDC: silent data corruption — the decoder returned wrong data
+	// without raising a detection (undetected error or miscorrection).
+	SDC
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case NoError:
+		return "NoError"
+	case DCE:
+		return "DCE"
+	case DUE:
+		return "DUE"
+	case SDC:
+		return "SDC"
+	default:
+		return "Outcome(?)"
+	}
+}
+
+// Classify maps a decode status plus a data-comparison result to an
+// Outcome. dataOK reports whether the returned data equals the originally
+// stored data; injected reports whether an error was actually injected.
+func Classify(status Status, dataOK, injected bool) Outcome {
+	switch status {
+	case Detected:
+		return DUE
+	default:
+		if dataOK {
+			if injected {
+				return DCE
+			}
+			return NoError
+		}
+		return SDC
+	}
+}

@@ -1,0 +1,287 @@
+// Package evalmc evaluates entry-level ECC schemes against the analytical
+// error model, regenerating the paper's Table 2 (per-pattern SDC risk) and
+// Fig. 8 (Table-1-weighted correction/detection/SDC probabilities).
+//
+// Bit, pin, byte and 2-bit errors are evaluated exhaustively; 3-bit, beat
+// and entry errors by Monte Carlo with configurable sample counts (the
+// paper used 1e7/1e9 samples; defaults here are smaller and every number
+// carries a Wilson confidence interval).
+//
+// Because every code in the repository is linear, the decode outcome
+// depends only on the error pattern, not the stored data; the evaluator
+// still encodes a caller-provided payload so that nonlinearity bugs would
+// surface as data-dependent results in tests.
+package evalmc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/ecc"
+	"hbm2ecc/internal/errormodel"
+	"hbm2ecc/internal/stats"
+)
+
+// Options configures an evaluation run.
+type Options struct {
+	// Seed makes sampled patterns reproducible.
+	Seed int64
+	// Samples3b, SamplesBeat and SamplesEntry set the Monte-Carlo sample
+	// counts for the non-enumerable classes. Zero selects the defaults
+	// (200k each).
+	Samples3b, SamplesBeat, SamplesEntry int
+	// Data is the payload to protect; the zero value is fine for linear
+	// codes.
+	Data [bitvec.DataBytes]byte
+	// Parallel enables evaluation across GOMAXPROCS goroutines (per
+	// pattern class; sampled classes are split into per-worker streams).
+	Parallel bool
+}
+
+func (o *Options) defaults() {
+	if o.Samples3b <= 0 {
+		o.Samples3b = 200_000
+	}
+	if o.SamplesBeat <= 0 {
+		o.SamplesBeat = 200_000
+	}
+	if o.SamplesEntry <= 0 {
+		o.SamplesEntry = 200_000
+	}
+}
+
+// PatternResult holds outcome counts for one scheme on one pattern class.
+type PatternResult struct {
+	Pattern    errormodel.Pattern
+	Exhaustive bool
+	N          int
+	DCE, DUE   int
+	SDC        int
+}
+
+// FracDCE returns the corrected fraction.
+func (r PatternResult) FracDCE() float64 { return frac(r.DCE, r.N) }
+
+// FracDUE returns the detected-uncorrected fraction.
+func (r PatternResult) FracDUE() float64 { return frac(r.DUE, r.N) }
+
+// FracSDC returns the silent-data-corruption fraction.
+func (r PatternResult) FracSDC() float64 { return frac(r.SDC, r.N) }
+
+// SDCInterval returns the 95% Wilson interval of the SDC fraction.
+func (r PatternResult) SDCInterval() (lo, hi float64) {
+	return stats.WilsonInterval(r.SDC, r.N, 1.96)
+}
+
+func frac(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
+}
+
+// SchemeResult holds a scheme's results across all pattern classes.
+type SchemeResult struct {
+	Scheme     string
+	PerPattern [errormodel.NumPatterns]PatternResult
+}
+
+// Weighted combines the per-pattern results with the Table-1 mixture,
+// producing the Fig. 8 stacked probabilities for one random event.
+type Weighted struct {
+	Scheme        string
+	DCE, DUE, SDC float64
+}
+
+// Weighted returns the Table-1-weighted event outcome probabilities.
+func (sr SchemeResult) Weighted() Weighted {
+	return sr.WeightedWith(errormodel.Table1)
+}
+
+// WeightedWith combines the per-pattern results with caller-supplied
+// pattern probabilities — e.g. the probabilities *measured* by a
+// simulated beam campaign (closing the characterization→mitigation loop)
+// instead of the paper's published Table 1. The weights are normalized
+// before use.
+func (sr SchemeResult) WeightedWith(weights [errormodel.NumPatterns]float64) Weighted {
+	total := 0.0
+	for _, p := range weights {
+		total += p
+	}
+	if total <= 0 {
+		total = 1
+	}
+	w := Weighted{Scheme: sr.Scheme}
+	for p := errormodel.Bit1; p < errormodel.NumPatterns; p++ {
+		r := sr.PerPattern[p]
+		prob := weights[p] / total
+		w.DCE += prob * r.FracDCE()
+		w.DUE += prob * r.FracDUE()
+		w.SDC += prob * r.FracSDC()
+	}
+	return w
+}
+
+// Evaluate runs the full per-pattern evaluation of one scheme.
+func Evaluate(s core.Scheme, opts Options) SchemeResult {
+	opts.defaults()
+	wire := s.Encode(opts.Data)
+	res := SchemeResult{Scheme: s.Name()}
+
+	for p := errormodel.Bit1; p < errormodel.NumPatterns; p++ {
+		if errormodel.EnumerableCount(p) >= 0 {
+			res.PerPattern[p] = evaluateExhaustive(s, wire, p)
+			continue
+		}
+		n := opts.Samples3b
+		switch p {
+		case errormodel.Beat1:
+			n = opts.SamplesBeat
+		case errormodel.Entry1:
+			n = opts.SamplesEntry
+		}
+		res.PerPattern[p] = evaluateSampled(s, wire, p, n, opts.Seed, opts.Parallel)
+	}
+	return res
+}
+
+func classifyOutcome(s core.Scheme, wire, e bitvec.V288) ecc.Outcome {
+	wr := s.DecodeWire(wire.Xor(e))
+	if wr.Status == ecc.Detected {
+		return ecc.DUE
+	}
+	if wr.Wire == wire {
+		return ecc.DCE
+	}
+	return ecc.SDC
+}
+
+func evaluateExhaustive(s core.Scheme, wire bitvec.V288, p errormodel.Pattern) PatternResult {
+	r := PatternResult{Pattern: p, Exhaustive: true}
+	errormodel.Enumerate(p, func(e bitvec.V288) {
+		r.N++
+		switch classifyOutcome(s, wire, e) {
+		case ecc.DCE:
+			r.DCE++
+		case ecc.DUE:
+			r.DUE++
+		default:
+			r.SDC++
+		}
+	})
+	return r
+}
+
+func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n int, seed int64, parallel bool) PatternResult {
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = 1
+		}
+	}
+	type counts struct{ n, dce, due, sdc int }
+	parts := make([]counts, workers)
+	var wg sync.WaitGroup
+	per := n / workers
+	for w := 0; w < workers; w++ {
+		w := w
+		quota := per
+		if w == workers-1 {
+			quota = n - per*(workers-1)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Distinct deterministic stream per worker and pattern.
+			smp := errormodel.NewSampler(seed + int64(w)*1_000_003 + int64(p)*7_919)
+			var c counts
+			for i := 0; i < quota; i++ {
+				e := smp.Sample(p)
+				c.n++
+				switch classifyOutcome(s, wire, e) {
+				case ecc.DCE:
+					c.dce++
+				case ecc.DUE:
+					c.due++
+				default:
+					c.sdc++
+				}
+			}
+			parts[w] = c
+		}()
+	}
+	wg.Wait()
+	r := PatternResult{Pattern: p}
+	for _, c := range parts {
+		r.N += c.n
+		r.DCE += c.dce
+		r.DUE += c.due
+		r.SDC += c.sdc
+	}
+	return r
+}
+
+// EvaluateAll evaluates every scheme in order.
+func EvaluateAll(schemes []core.Scheme, opts Options) []SchemeResult {
+	out := make([]SchemeResult, len(schemes))
+	for i, s := range schemes {
+		out[i] = Evaluate(s, opts)
+	}
+	return out
+}
+
+// Table2Row formats one scheme's SDC risk per pattern the way Table 2
+// reads: "C" for always-corrected, "D" for always detected-or-corrected
+// with zero SDC and zero correction... strictly the paper marks "C" when
+// the whole class is corrected and "D" when the whole class is detected;
+// mixed classes show the SDC percentage.
+type Table2Row struct {
+	Scheme string
+	Cells  [errormodel.NumPatterns]string
+}
+
+// FormatTable2 renders per-pattern cells: "C" (all corrected), "D" (all
+// detected or corrected, no SDC), or the SDC percentage.
+func FormatTable2(res []SchemeResult) []Table2Row {
+	rows := make([]Table2Row, len(res))
+	for i, sr := range res {
+		rows[i].Scheme = sr.Scheme
+		for p := errormodel.Bit1; p < errormodel.NumPatterns; p++ {
+			r := sr.PerPattern[p]
+			switch {
+			case r.DCE == r.N:
+				rows[i].Cells[p] = "C"
+			case r.SDC == 0:
+				rows[i].Cells[p] = "D"
+			default:
+				rows[i].Cells[p] = fmt.Sprintf("%.4f%%", r.FracSDC()*100)
+			}
+		}
+	}
+	return rows
+}
+
+// SDCReduction returns how many orders of magnitude scheme res improves on
+// base in weighted SDC probability (the paper's headline metric).
+func SDCReduction(base, res Weighted) float64 {
+	if res.SDC <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log10(base.SDC / res.SDC)
+}
+
+// DUEReduction returns the ratio of weighted uncorrectable-error
+// probability between base and res (the paper reports TrioECC reducing
+// DUEs by 7.87× over SEC-DED... strictly over DuetECC's DUE rate; both
+// ratios are reported by the benchmarks).
+func DUEReduction(base, res Weighted) float64 {
+	if res.DUE <= 0 {
+		return math.Inf(1)
+	}
+	return base.DUE / res.DUE
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"hbm2ecc/internal/errormodel"
+)
+
+func TestDamagedGPUHasSaturatedPool(t *testing.T) {
+	dev, b := DamagedGPU(1)
+	if dev.WeakCellCount() < 2000 || dev.WeakCellCount() > 3500 {
+		t.Fatalf("damaged GPU has %d weak cells, want ~2700", dev.WeakCellCount())
+	}
+	if b.Fluence() <= 0 {
+		t.Fatal("no fluence accrued")
+	}
+	// Saturation: more exposure adds few cells.
+	before := dev.WeakCellCount()
+	b.Expose(1e6, 1e6+b.Damage.SaturationFluence/b.Flux, 0)
+	if grown := dev.WeakCellCount() - before; grown > before/10 {
+		t.Fatalf("pool not saturated: grew by %d", grown)
+	}
+}
+
+func TestRefreshSweepMonotoneAndFits(t *testing.T) {
+	dev, _ := DamagedGPU(2)
+	periods := []float64{0.008, 0.012, 0.016, 0.024, 0.032, 0.048, 0.064}
+	res, err := RefreshSweep(dev, periods, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 3a: counts increase monotonically with refresh period.
+	for i := 1; i < len(res.Counts); i++ {
+		if res.Counts[i] < res.Counts[i-1] {
+			t.Fatalf("counts not monotone: %v", res.Counts)
+		}
+	}
+	// Roughly a thousand cells at the default 16ms (paper's headline).
+	if res.Counts[2] < 300 || res.Counts[2] > 2000 {
+		t.Fatalf("16ms count %d implausible", res.Counts[2])
+	}
+	// Fig. 3b: the normal fit must recover the damage-model parameters.
+	if math.Abs(res.FitMu-0.022) > 0.008 || math.Abs(res.FitSigma-0.014) > 0.008 {
+		t.Fatalf("fit (mu=%v sigma=%v) far from model (0.022, 0.014)", res.FitMu, res.FitSigma)
+	}
+	// Predictions track measurements within 20%.
+	for i := range periods {
+		if res.Counts[i] == 0 {
+			continue
+		}
+		rel := math.Abs(res.Predicted[i]-float64(res.Counts[i])) / float64(res.Counts[i])
+		if rel > 0.25 {
+			t.Fatalf("prediction at %vms off by %.0f%%", periods[i]*1000, rel*100)
+		}
+	}
+	// The sweep must restore the refresh period it found.
+	if dev.RefreshPeriod != 0.016 {
+		t.Fatalf("refresh period not restored: %v", dev.RefreshPeriod)
+	}
+}
+
+func TestAccumulationLinear(t *testing.T) {
+	res, err := Accumulation(4, 40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Damaged[len(res.Damaged)-1] < 20 {
+		t.Fatalf("too few damaged entries accumulated: %v", res.Damaged[len(res.Damaged)-1])
+	}
+	// Fig. 3c: linear accumulation with high R² in the pre-saturation
+	// regime (the paper reports R²=0.97).
+	if res.Fit.R2 < 0.9 {
+		t.Fatalf("accumulation R² = %.3f, want > 0.9", res.Fit.R2)
+	}
+	if res.Fit.Slope <= 0 {
+		t.Fatal("accumulation slope must be positive")
+	}
+}
+
+func TestCampaignDistributions(t *testing.T) {
+	an := Campaign(CampaignConfig{Seed: 5, Runs: 220})
+	if len(an.Events) < 150 {
+		t.Fatalf("campaign produced only %d events", len(an.Events))
+	}
+	cb := an.ClassBreakdown()
+	// Fig. 4a bands (generous: the calibration targets Table 1 first).
+	if cb[0].P < 0.55 || cb[0].P > 0.80 {
+		t.Fatalf("SBSE fraction %.3f out of band", cb[0].P)
+	}
+	if cb[3].P < 0.10 || cb[3].P > 0.40 {
+		t.Fatalf("MBME fraction %.3f out of band", cb[3].P)
+	}
+	// Fig. 4c: byte-aligned majority of multi-bit events.
+	if f := an.ByteAlignedFraction(); f.P < 0.6 {
+		t.Fatalf("byte-aligned fraction %.3f too low", f.P)
+	}
+	// Table 1 shape: single-bit dominates, byte second.
+	tab := an.Table1()
+	if tab[errormodel.Bit1].P < 0.6 {
+		t.Fatalf("1-bit pattern fraction %.3f too low", tab[errormodel.Bit1].P)
+	}
+	if tab[errormodel.Byte1].P < 0.10 || tab[errormodel.Byte1].P > 0.35 {
+		t.Fatalf("byte pattern fraction %.3f out of band", tab[errormodel.Byte1].P)
+	}
+	// Fig. 5: some full inversions among byte-aligned errors.
+	_, inv, total := an.SeverityHistogram(true)
+	if total == 0 || inv == 0 {
+		t.Fatalf("no inversion errors observed (inv=%d total=%d)", inv, total)
+	}
+	frac := float64(inv) / float64(total)
+	if frac < 0.03 || frac > 0.4 {
+		t.Fatalf("inversion fraction %.3f far from the paper's ~15%%", frac)
+	}
+	// Some runs should be discarded by the host-side checks.
+	if an.DiscardedRuns == 0 {
+		t.Log("note: no discarded runs in this campaign (0.6% each)")
+	}
+}
+
+func TestUtilizationSweepProportionality(t *testing.T) {
+	points := UtilizationSweep(6, []float64{0.25, 1.0}, 60)
+	lo, hi := points[0], points[1]
+	if hi.MultiBit.P <= lo.MultiBit.P {
+		t.Fatalf("multi-bit fraction did not grow with utilization: %.3f -> %.3f",
+			lo.MultiBit.P, hi.MultiBit.P)
+	}
+}
+
+func TestAnnealingAsymmetry(t *testing.T) {
+	dev, b := DamagedGPU(7)
+	periods := []float64{0.008, 0.048}
+	res, err := Annealing(dev, b, periods, 3.5*3600, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4: the short-period count falls much more, relatively, than the
+	// long-period count (26% vs 2.5% in the paper).
+	if res.RelativeDrop[0] <= res.RelativeDrop[1] {
+		t.Fatalf("annealing asymmetry missing: drop(8ms)=%.3f drop(48ms)=%.3f",
+			res.RelativeDrop[0], res.RelativeDrop[1])
+	}
+	if res.RelativeDrop[0] < 0.05 {
+		t.Fatalf("8ms drop %.3f too small", res.RelativeDrop[0])
+	}
+	if res.RelativeDrop[1] > 0.15 {
+		t.Fatalf("48ms drop %.3f too large", res.RelativeDrop[1])
+	}
+}
+
+func TestWordsPerEntryShape(t *testing.T) {
+	// Fig. 4c stacked bars: byte-aligned errors are confined to a single
+	// 64b word per entry; non-byte-aligned errors usually hit all four.
+	an := Campaign(CampaignConfig{Seed: 21, Runs: 150})
+	wa := an.WordsPerEntry(true)
+	if wa[0] == 0 {
+		t.Fatal("no single-word byte-aligned entries")
+	}
+	if wa[0] < wa[1]+wa[2]+wa[3] {
+		t.Fatalf("byte-aligned errors should be mostly single-word: %v", wa)
+	}
+	wn := an.WordsPerEntry(false)
+	totalN := wn[0] + wn[1] + wn[2] + wn[3]
+	if totalN == 0 {
+		t.Skip("no non-byte-aligned entries in this draw")
+	}
+	if wn[3]*2 < totalN {
+		t.Fatalf("non-byte-aligned errors should mostly affect all four words: %v", wn)
+	}
+}

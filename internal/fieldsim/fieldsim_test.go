@@ -1,0 +1,80 @@
+package fieldsim
+
+import (
+	"math"
+	"testing"
+
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/evalmc"
+	"hbm2ecc/internal/sysrel"
+)
+
+func TestEventCountMatchesFIT(t *testing.T) {
+	// 100k GPUs for a year at ~4003 FIT each: expect ~3.5M events... keep
+	// it smaller: 10k GPUs × 1000h → 4003e-9 × 1e7 = ~40k events.
+	res := Simulate(Config{Scheme: core.NewDuetECC(), GPUs: 10_000, Hours: 1000, Seed: 1})
+	want := 10_000.0 * 1000 * sysrel.RawFITPerGb * sysrel.A100MemoryGb * 1e-9
+	if math.Abs(float64(res.Events)-want) > 5*math.Sqrt(want) {
+		t.Fatalf("events %d, want ~%.0f", res.Events, want)
+	}
+}
+
+func TestEmpiricalMatchesAnalytical(t *testing.T) {
+	// The simulated DUE rate must agree with the analytically-evaluated
+	// Table-1-weighted DUE probability within its confidence interval.
+	scheme := core.NewDuetECC()
+	sim := Simulate(Config{Scheme: scheme, GPUs: 20_000, Hours: 1000, Seed: 2})
+	w := evalmc.Evaluate(scheme, evalmc.Options{
+		Seed: 9, Samples3b: 50_000, SamplesBeat: 50_000, SamplesEntry: 50_000, Parallel: true,
+	}).Weighted()
+
+	due := sim.DUERate()
+	if w.DUE < due.Lo-0.01 || w.DUE > due.Hi+0.01 {
+		t.Fatalf("analytical DUE %.4f outside empirical CI [%.4f, %.4f]", w.DUE, due.Lo, due.Hi)
+	}
+}
+
+func TestExascaleMTTICrossCheck(t *testing.T) {
+	// Fig. 9 cross-check: simulate the 0.5-exaflop machine for a while
+	// and compare empirical MTTI against the closed form.
+	scheme := core.NewTrioECC()
+	gpus := 0.5 * sysrel.DefaultGPUsPerExaflop
+	sim := Simulate(Config{Scheme: scheme, GPUs: gpus, Hours: 5000, Seed: 3})
+
+	w := evalmc.Evaluate(scheme, evalmc.Options{
+		Seed: 9, Samples3b: 50_000, SamplesBeat: 50_000, SamplesEntry: 50_000, Parallel: true,
+	}).Weighted()
+	g := sysrel.FromWeighted(w, sysrel.A100MemoryGb)
+	analytic := sysrel.Exascale(g, []float64{0.5}, 0)[0].MTTIHours
+
+	emp := sim.MTTIHours()
+	if math.IsInf(emp, 1) {
+		t.Fatal("no DUEs in 5000 hours at exascale (implausible)")
+	}
+	rel := math.Abs(emp-analytic) / analytic
+	if rel > 0.25 {
+		t.Fatalf("empirical MTTI %.1fh vs analytical %.1fh (%.0f%% apart)", emp, analytic, rel*100)
+	}
+}
+
+func TestSDCRareForDuet(t *testing.T) {
+	// DuetECC's SDC rate is ~1e-5 per event: a 100k-event fleet sim
+	// should see at most a handful.
+	res := Simulate(Config{Scheme: core.NewDuetECC(), GPUs: 25_000, Hours: 1000, Seed: 4})
+	if res.SDC > 10 {
+		t.Fatalf("DuetECC SDC count %d implausibly high in %d events", res.SDC, res.Events)
+	}
+	if res.DCE == 0 || res.DUE == 0 {
+		t.Fatal("expected corrections and DUEs")
+	}
+	if res.DCE+res.DUE+res.SDC != res.Events {
+		t.Fatal("outcome counts do not sum to events")
+	}
+}
+
+func TestInfiniteMTTFWhenNoSDC(t *testing.T) {
+	res := Result{FleetHours: 100}
+	if !math.IsInf(res.MTTFHours(), 1) || !math.IsInf(res.MTTIHours(), 1) {
+		t.Fatal("zero counts must report +Inf")
+	}
+}

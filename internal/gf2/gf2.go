@@ -1,0 +1,241 @@
+// Package gf2 provides GF(2) linear algebra for binary block codes.
+//
+// The central type is H72, the (8×72) parity-check matrix of a (72,64)
+// binary linear code — the codeword geometry shared by every binary scheme
+// in the paper (one codeword per DRAM beat). H72 stores the matrix both as
+// 72 8-bit columns (the syndrome of each single-bit error) and as 8 72-bit
+// row masks (for word-parallel syndrome computation), and offers systematic
+// encoding when the check columns form the identity.
+//
+// A small dense Matrix type supports rank computation and property checks
+// used by the code search and by tests.
+package gf2
+
+import (
+	"errors"
+	"math/bits"
+	"strings"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/crockford"
+)
+
+// Code geometry constants for the (72,64) binary codes.
+const (
+	N = 72 // codeword length in bits
+	K = 64 // data bits
+	R = 8  // check bits
+)
+
+// H72 is the parity-check matrix of a (72,64) binary code in systematic
+// form: columns 0..63 protect the data bits and columns 64..71 must be the
+// identity (check bits). Column j is the 8-bit syndrome produced by a
+// single-bit error in position j.
+type H72 struct {
+	Cols [N]uint8
+	Rows [R]bitvec.V72
+}
+
+// NewH72 builds an H72 from its 72 columns. It validates that the check
+// columns (64..71) form the identity so that systematic syndrome-based
+// encoding is possible, and that no column is zero.
+func NewH72(cols [N]uint8) (*H72, error) {
+	for j := 0; j < N; j++ {
+		if cols[j] == 0 {
+			return nil, errors.New("gf2: zero column in H")
+		}
+	}
+	for r := 0; r < R; r++ {
+		if cols[K+r] != 1<<uint(r) {
+			return nil, errors.New("gf2: check columns must be the identity")
+		}
+	}
+	h := &H72{Cols: cols}
+	for j := 0; j < N; j++ {
+		for r := 0; r < R; r++ {
+			if cols[j]>>uint(r)&1 != 0 {
+				h.Rows[r] = h.Rows[r].SetBit(j, 1)
+			}
+		}
+	}
+	return h, nil
+}
+
+// Syndrome computes H·v over GF(2) as an 8-bit value.
+func (h *H72) Syndrome(v bitvec.V72) uint8 {
+	var s uint8
+	for r := 0; r < R; r++ {
+		m := h.Rows[r]
+		p := bits.OnesCount64(m.Lo&v.Lo) + bits.OnesCount64(m.Hi&v.Hi)
+		s |= uint8(p&1) << uint(r)
+	}
+	return s
+}
+
+// EncodeData computes the 8 check bits for 64 data bits so that the
+// systematic codeword (data in bits 0..63, checks in 64..71) has syndrome 0.
+func (h *H72) EncodeData(data uint64) uint8 {
+	var s uint8
+	for r := 0; r < R; r++ {
+		p := bits.OnesCount64(h.Rows[r].Lo & data)
+		s |= uint8(p&1) << uint(r)
+	}
+	return s
+}
+
+// Codeword assembles the systematic codeword for 64 data bits.
+func (h *H72) Codeword(data uint64) bitvec.V72 {
+	return bitvec.V72{Lo: data, Hi: uint64(h.EncodeData(data))}
+}
+
+// IsSECDED reports whether the code corrects all single-bit errors and
+// detects all double-bit errors: all columns distinct and no column equal
+// to the XOR of two others. For minimum-odd-weight (Hsiao) codes the second
+// property follows from column parity; this check works for any H.
+func (h *H72) IsSECDED() bool {
+	var seen [256]bool
+	for _, c := range h.Cols {
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	// Double errors must not alias single-bit syndromes (or zero).
+	var isCol [256]bool
+	for _, c := range h.Cols {
+		isCol[c] = true
+	}
+	for i := 0; i < N; i++ {
+		for j := i + 1; j < N; j++ {
+			s := h.Cols[i] ^ h.Cols[j]
+			if s == 0 || isCol[s] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllColumnsOddWeight reports whether every column has odd weight (the
+// Hsiao property: double errors always give even-weight, hence detectable,
+// syndromes, and the error-vs-no-error decision reduces to syndrome parity).
+func (h *H72) AllColumnsOddWeight() bool {
+	for _, c := range h.Cols {
+		if bits.OnesCount8(c)&1 == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RowWeights returns the number of ones per row. Balanced row weights
+// minimize the widest XOR tree in the encoder, which is what "minimum
+// odd-weight" Hsiao construction optimizes.
+func (h *H72) RowWeights() [R]int {
+	var w [R]int
+	for r := 0; r < R; r++ {
+		w[r] = h.Rows[r].OnesCount()
+	}
+	return w
+}
+
+// SyndromeLUT returns a 256-entry table mapping a syndrome to the erroneous
+// bit position, or -1 when no single-bit error matches. Entry 0 is -1
+// (no error is handled separately by decoders).
+func (h *H72) SyndromeLUT() [256]int16 {
+	var lut [256]int16
+	for i := range lut {
+		lut[i] = -1
+	}
+	for j, c := range h.Cols {
+		lut[c] = int16(j)
+	}
+	lut[0] = -1
+	return lut
+}
+
+// MarshalText prints the matrix as 8 Crockford Base32 rows (15 characters
+// each), the format of the paper's Eq. 3.
+func (h *H72) MarshalText() ([]byte, error) {
+	var sb strings.Builder
+	for r := 0; r < R; r++ {
+		if r > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(crockford.EncodeRow(h.Rows[r].Lo, h.Rows[r].Hi))
+	}
+	return []byte(sb.String()), nil
+}
+
+// ParseH72 parses 8 Crockford Base32 rows (newline or whitespace separated)
+// into an H72.
+func ParseH72(text string) (*H72, error) {
+	fields := strings.Fields(text)
+	if len(fields) != R {
+		return nil, errors.New("gf2: H matrix must have exactly 8 rows")
+	}
+	var rows [R]bitvec.V72
+	for r, f := range fields {
+		lo, hi, err := crockford.DecodeRow(f)
+		if err != nil {
+			return nil, err
+		}
+		rows[r] = bitvec.V72FromUint64(lo, hi)
+	}
+	var cols [N]uint8
+	for j := 0; j < N; j++ {
+		for r := 0; r < R; r++ {
+			cols[j] |= uint8(rows[r].Bit(j)) << uint(r)
+		}
+	}
+	return NewH72(cols)
+}
+
+// Matrix is a dense GF(2) matrix with up to 64 columns per word-row,
+// stored row-major as []uint64 with one word per row.
+type Matrix struct {
+	NumRows, NumCols int
+	RowsBits         []uint64
+}
+
+// NewMatrix allocates a zero matrix. Columns are limited to 64.
+func NewMatrix(rows, cols int) *Matrix {
+	if cols > 64 {
+		panic("gf2: Matrix supports at most 64 columns")
+	}
+	return &Matrix{NumRows: rows, NumCols: cols, RowsBits: make([]uint64, rows)}
+}
+
+// Set assigns bit (r, c).
+func (m *Matrix) Set(r, c int, b uint) {
+	m.RowsBits[r] = m.RowsBits[r]&^(1<<uint(c)) | uint64(b&1)<<uint(c)
+}
+
+// Get returns bit (r, c).
+func (m *Matrix) Get(r, c int) uint { return uint(m.RowsBits[r]>>uint(c)) & 1 }
+
+// Rank computes the GF(2) rank by Gaussian elimination on a copy.
+func (m *Matrix) Rank() int {
+	rows := append([]uint64(nil), m.RowsBits...)
+	rank := 0
+	for c := 0; c < m.NumCols && rank < len(rows); c++ {
+		piv := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r]>>uint(c)&1 != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			continue
+		}
+		rows[rank], rows[piv] = rows[piv], rows[rank]
+		for r := 0; r < len(rows); r++ {
+			if r != rank && rows[r]>>uint(c)&1 != 0 {
+				rows[r] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,218 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hbm2ecc/internal/bitvec"
+)
+
+// trivialH builds a valid-but-weak H: data columns are 1..? odd-weight
+// distinct values, check columns identity. Used to exercise plumbing.
+func trivialH(t *testing.T) *H72 {
+	t.Helper()
+	var cols [N]uint8
+	// 64 distinct odd-weight non-identity columns.
+	idx := 0
+	for v := 3; v < 256 && idx < K; v++ {
+		w := 0
+		for b := 0; b < 8; b++ {
+			w += int(v >> uint(b) & 1)
+		}
+		if w%2 == 1 && w > 1 {
+			cols[idx] = uint8(v)
+			idx++
+		}
+	}
+	if idx != K {
+		t.Fatalf("only %d columns", idx)
+	}
+	for r := 0; r < R; r++ {
+		cols[K+r] = 1 << uint(r)
+	}
+	h, err := NewH72(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewH72Validation(t *testing.T) {
+	var cols [N]uint8
+	if _, err := NewH72(cols); err == nil {
+		t.Fatal("zero columns must be rejected")
+	}
+	h := trivialH(t)
+	bad := h.Cols
+	bad[K] = 0x03 // not identity
+	if _, err := NewH72(bad); err == nil {
+		t.Fatal("non-identity check columns must be rejected")
+	}
+}
+
+func TestSyndromeMatchesColumns(t *testing.T) {
+	h := trivialH(t)
+	for j := 0; j < N; j++ {
+		var v bitvec.V72
+		v = v.SetBit(j, 1)
+		if s := h.Syndrome(v); s != h.Cols[j] {
+			t.Fatalf("syndrome of e_%d = %#x, want %#x", j, s, h.Cols[j])
+		}
+	}
+}
+
+func TestSyndromeLinear(t *testing.T) {
+	h := trivialH(t)
+	f := func(aLo, aHi, bLo, bHi uint64) bool {
+		a := bitvec.V72FromUint64(aLo, aHi)
+		b := bitvec.V72FromUint64(bLo, bHi)
+		return h.Syndrome(a.Xor(b)) == h.Syndrome(a)^h.Syndrome(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeGivesZeroSyndrome(t *testing.T) {
+	h := trivialH(t)
+	f := func(data uint64) bool {
+		return h.Syndrome(h.Codeword(data)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyndromeLUT(t *testing.T) {
+	h := trivialH(t)
+	lut := h.SyndromeLUT()
+	if lut[0] != -1 {
+		t.Fatal("zero syndrome must map to -1")
+	}
+	for j := 0; j < N; j++ {
+		if lut[h.Cols[j]] != int16(j) {
+			t.Fatalf("lut[%#x] = %d, want %d", h.Cols[j], lut[h.Cols[j]], j)
+		}
+	}
+}
+
+func TestMatrixRank(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 1)
+	if m.Rank() != 3 {
+		t.Fatalf("identity rank = %d", m.Rank())
+	}
+	m.Set(2, 2, 0)
+	m.Set(2, 0, 1) // row2 = row0
+	if m.Rank() != 2 {
+		t.Fatalf("dependent rank = %d", m.Rank())
+	}
+	if m.Get(2, 0) != 1 || m.Get(2, 2) != 0 {
+		t.Fatal("Get broken")
+	}
+}
+
+func TestH72FullRank(t *testing.T) {
+	h := trivialH(t)
+	// N>64 exceeds Matrix's column limit, so rank-check the transpose.
+	mt := NewMatrix(N, R)
+	for j := 0; j < N; j++ {
+		for r := 0; r < R; r++ {
+			mt.Set(j, r, uint(h.Cols[j]>>uint(r))&1)
+		}
+	}
+	if mt.Rank() != R {
+		t.Fatalf("H rank = %d, want %d", mt.Rank(), R)
+	}
+}
+
+func TestMarshalTextAndParse(t *testing.T) {
+	h := trivialH(t)
+	txt, err := h.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ParseH72(string(txt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Cols != h.Cols {
+		t.Fatal("marshal/parse round trip changed H")
+	}
+}
+
+func TestParseH72Errors(t *testing.T) {
+	if _, err := ParseH72("one two three"); err == nil {
+		t.Fatal("wrong row count must fail")
+	}
+	rows := ""
+	for i := 0; i < 8; i++ {
+		rows += "UUUUUUUUUUUUUUU\n"
+	}
+	if _, err := ParseH72(rows); err == nil {
+		t.Fatal("invalid base32 must fail")
+	}
+	zero := ""
+	for i := 0; i < 8; i++ {
+		zero += "000000000000000\n"
+	}
+	if _, err := ParseH72(zero); err == nil {
+		t.Fatal("zero columns must fail")
+	}
+}
+
+func TestIsSECDEDNegative(t *testing.T) {
+	// Duplicate columns break SEC; a column equal to the XOR of two
+	// others breaks DED. Construct both.
+	h := trivialH(t)
+	dup := h.Cols
+	dup[0] = dup[1]
+	if hd, err := NewH72(dup); err == nil && hd.IsSECDED() {
+		t.Fatal("duplicate columns must not be SEC-DED")
+	}
+}
+
+func TestAllColumnsOddWeightNegative(t *testing.T) {
+	h := trivialH(t)
+	bad := h.Cols
+	bad[0] = 0x0F // even weight
+	hb, err := NewH72(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.AllColumnsOddWeight() {
+		t.Fatal("even-weight column not flagged")
+	}
+}
+
+func TestRowWeights(t *testing.T) {
+	h := trivialH(t)
+	total := 0
+	for _, w := range h.RowWeights() {
+		total += w
+	}
+	want := 0
+	for _, c := range h.Cols {
+		for b := 0; b < 8; b++ {
+			want += int(c >> uint(b) & 1)
+		}
+	}
+	if total != want {
+		t.Fatalf("row weights sum %d, want %d", total, want)
+	}
+}
+
+func TestMatrixRankSingularAndPanic(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if m.Rank() != 0 {
+		t.Fatal("zero matrix rank")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix with >64 cols must panic")
+		}
+	}()
+	NewMatrix(1, 65)
+}

@@ -1,0 +1,127 @@
+// Package gf256 implements GF(2^8) arithmetic for the symbol-based ECC
+// codes. The default field uses the paper's primitive polynomial
+// α: x^8 + x^6 + x^5 + x + 1 (§6.3), and the package also exposes the
+// 8×8 GF(2) matrix of any multiply-by-constant operation, which the
+// hardware cost model uses to synthesize syndrome-generation logic.
+package gf256
+
+import "fmt"
+
+// PaperPoly is the paper's primitive polynomial x^8+x^6+x^5+x+1, written
+// with the x^8 term implicit (the reduction uses the low 9 bits).
+const PaperPoly = 0x163
+
+// Field is a GF(2^8) field with log/antilog tables. Construct with New;
+// the zero value is not usable.
+type Field struct {
+	poly uint16
+	exp  [510]uint8 // exp[i] = α^i, doubled to avoid modular reduction
+	log  [256]uint8 // log[x] = dlog_α(x); log[0] is unused
+}
+
+// New builds a field from a degree-8 polynomial (bit 8 set, low bits the
+// reduction). It fails if x is not a primitive element (the exp table must
+// cycle through all 255 nonzero values).
+func New(poly uint16) (*Field, error) {
+	if poly>>8 != 1 {
+		return nil, fmt.Errorf("gf256: polynomial %#x is not degree 8", poly)
+	}
+	f := &Field{poly: poly}
+	x := uint16(1)
+	var seen [256]bool
+	for i := 0; i < 255; i++ {
+		if seen[uint8(x)] {
+			return nil, fmt.Errorf("gf256: %#x is not primitive (cycle at %d)", poly, i)
+		}
+		seen[uint8(x)] = true
+		f.exp[i] = uint8(x)
+		f.exp[i+255] = uint8(x)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= poly
+		}
+	}
+	if x != 1 {
+		return nil, fmt.Errorf("gf256: %#x does not generate a 255-cycle", poly)
+	}
+	for i := 0; i < 255; i++ {
+		f.log[f.exp[i]] = uint8(i)
+	}
+	return f, nil
+}
+
+// Default returns the field over the paper's primitive polynomial.
+// It panics only if the compiled-in constant were invalid.
+func Default() *Field {
+	f, err := New(PaperPoly)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Add returns a+b (XOR in characteristic 2).
+func (f *Field) Add(a, b uint8) uint8 { return a ^ b }
+
+// Mul returns a·b.
+func (f *Field) Mul(a, b uint8) uint8 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// Div returns a/b. It panics on division by zero.
+func (f *Field) Div(a, b uint8) uint8 {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+255-int(f.log[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics on zero.
+func (f *Field) Inv(a uint8) uint8 {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return f.exp[255-int(f.log[a])]
+}
+
+// Exp returns α^i for any integer i (reduced mod 255).
+func (f *Field) Exp(i int) uint8 {
+	i %= 255
+	if i < 0 {
+		i += 255
+	}
+	return f.exp[i]
+}
+
+// Log returns dlog_α(a) in [0,255). It panics on zero — the one-shot
+// decoders check for zero syndromes before taking logs, mirroring the
+// DLogα blocks in the paper's Fig. 7c.
+func (f *Field) Log(a uint8) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(f.log[a])
+}
+
+// MulConstMatrix returns the 8×8 GF(2) matrix M of y = c·x: row r is an
+// 8-bit mask, and output bit r equals the parity of (mask & x). The
+// hardware model turns these rows into XOR trees.
+func (f *Field) MulConstMatrix(c uint8) [8]uint8 {
+	var m [8]uint8
+	for bit := 0; bit < 8; bit++ {
+		col := f.Mul(c, 1<<uint(bit))
+		for r := 0; r < 8; r++ {
+			m[r] |= (col >> uint(r) & 1) << uint(bit)
+		}
+	}
+	return m
+}
+
+// Poly returns the field's reduction polynomial.
+func (f *Field) Poly() uint16 { return f.poly }

@@ -1,0 +1,113 @@
+package gf256
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadPolys(t *testing.T) {
+	if _, err := New(0x63); err == nil {
+		t.Fatal("degree-7 poly must fail")
+	}
+	// x^8+1 = (x+1)^8 is not irreducible, so x cannot be primitive.
+	if _, err := New(0x101); err == nil {
+		t.Fatal("reducible poly must fail")
+	}
+}
+
+func TestDefaultFieldAxioms(t *testing.T) {
+	f := Default()
+	// Associativity/commutativity/distributivity spot-checked by quick.
+	mulOK := func(a, b, c uint8) bool {
+		if f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+			return false
+		}
+		return f.Mul(a, b^c) == f.Mul(a, b)^f.Mul(a, c)
+	}
+	if err := quick.Check(mulOK, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseExhaustive(t *testing.T) {
+	f := Default()
+	for a := 1; a < 256; a++ {
+		inv := f.Inv(uint8(a))
+		if f.Mul(uint8(a), inv) != 1 {
+			t.Fatalf("a=%#x: a·a⁻¹ = %#x", a, f.Mul(uint8(a), inv))
+		}
+		if f.Div(1, uint8(a)) != inv {
+			t.Fatalf("Div(1,a) != Inv(a) for a=%#x", a)
+		}
+	}
+}
+
+func TestMulZeroAndOne(t *testing.T) {
+	f := Default()
+	for a := 0; a < 256; a++ {
+		if f.Mul(uint8(a), 0) != 0 || f.Mul(0, uint8(a)) != 0 {
+			t.Fatalf("a·0 != 0 for a=%#x", a)
+		}
+		if f.Mul(uint8(a), 1) != uint8(a) {
+			t.Fatalf("a·1 != a for a=%#x", a)
+		}
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	f := Default()
+	for i := 0; i < 255; i++ {
+		if f.Log(f.Exp(i)) != i {
+			t.Fatalf("Log(Exp(%d)) = %d", i, f.Log(f.Exp(i)))
+		}
+	}
+	if f.Exp(-1) != f.Exp(254) || f.Exp(255) != 1 || f.Exp(510) != 1 {
+		t.Fatal("Exp modular reduction broken")
+	}
+}
+
+func TestPanicsOnZero(t *testing.T) {
+	f := Default()
+	for name, fn := range map[string]func(){
+		"Inv": func() { f.Inv(0) },
+		"Log": func() { f.Log(0) },
+		"Div": func() { f.Div(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(0) must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMulConstMatrix(t *testing.T) {
+	f := Default()
+	parity := func(x uint8) uint8 { return uint8(bits.OnesCount8(x) & 1) }
+	for _, c := range []uint8{0, 1, 2, 0x1D, 0xFF, 0x63} {
+		m := f.MulConstMatrix(c)
+		for x := 0; x < 256; x++ {
+			var y uint8
+			for r := 0; r < 8; r++ {
+				y |= parity(m[r]&uint8(x)) << uint(r)
+			}
+			if y != f.Mul(c, uint8(x)) {
+				t.Fatalf("matrix for c=%#x wrong at x=%#x: %#x vs %#x",
+					c, x, y, f.Mul(c, uint8(x)))
+			}
+		}
+	}
+}
+
+func TestPolyAccessor(t *testing.T) {
+	if Default().Poly() != PaperPoly {
+		t.Fatal("Poly() mismatch")
+	}
+}

@@ -1,0 +1,94 @@
+package hbm2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestV100Capacity(t *testing.T) {
+	cfg := V100()
+	if got := cfg.Bytes(); got != 32<<30 {
+		t.Fatalf("V100 capacity = %d, want 32GB", got)
+	}
+	if got := cfg.Entries(); got != 1<<30 {
+		t.Fatalf("V100 entries = %d, want 2^30", got)
+	}
+}
+
+func TestEntryIndexRoundTrip(t *testing.T) {
+	cfg := V100()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		co := Coord{
+			Stack:    rng.Intn(cfg.Stacks),
+			Channel:  rng.Intn(ChannelsPerStack),
+			Bank:     rng.Intn(BanksPerChannel),
+			Subarray: rng.Intn(SubarraysPerBank),
+			Row:      rng.Intn(RowsPerSubarray),
+			Column:   rng.Intn(ColumnsPerRow),
+		}
+		idx := cfg.EntryIndex(co)
+		return idx >= 0 && idx < cfg.Entries() && cfg.CoordOf(idx) == co
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveEntriesStripeChannels(t *testing.T) {
+	cfg := V100()
+	for i := int64(0); i < 16; i++ {
+		co := cfg.CoordOf(i)
+		if co.Channel != int(i%ChannelsPerStack) {
+			t.Fatalf("entry %d on channel %d", i, co.Channel)
+		}
+	}
+}
+
+func TestSameRowEntries(t *testing.T) {
+	cfg := V100()
+	co := cfg.CoordOf(123456789)
+	rows := cfg.SameRowEntries(co)
+	if len(rows) != ColumnsPerRow {
+		t.Fatalf("row has %d entries", len(rows))
+	}
+	seen := map[int64]bool{}
+	for _, idx := range rows {
+		cc := cfg.CoordOf(idx)
+		want := co
+		want.Column = cc.Column
+		if cc != want {
+			t.Fatalf("row entry %v differs beyond column: %v vs %v", idx, cc, want)
+		}
+		if seen[idx] {
+			t.Fatal("duplicate entry in row")
+		}
+		seen[idx] = true
+	}
+}
+
+func TestValid(t *testing.T) {
+	cfg := V100()
+	if !cfg.Valid(Coord{}) {
+		t.Fatal("origin must be valid")
+	}
+	if cfg.Valid(Coord{Stack: 8}) || cfg.Valid(Coord{Row: 512}) || cfg.Valid(Coord{Column: -1}) {
+		t.Fatal("out-of-range coords must be invalid")
+	}
+}
+
+func TestMatMapping(t *testing.T) {
+	if MatOfByte(17) != 17 {
+		t.Fatal("mat mapping must be identity (logically-contiguous bytes)")
+	}
+	if WordOfByte(7) != 0 || WordOfByte(8) != 1 || WordOfByte(31) != 3 {
+		t.Fatal("word mapping wrong")
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if (Coord{}).String() == "" {
+		t.Fatal("empty String()")
+	}
+}

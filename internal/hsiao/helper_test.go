@@ -1,0 +1,5 @@
+package hsiao
+
+import "hbm2ecc/internal/gf2"
+
+func parseHelper(text string) (*gf2.H72, error) { return gf2.ParseH72(text) }

@@ -1,0 +1,154 @@
+package hwmodel
+
+import "testing"
+
+func TestBaselineMatchesPaper(t *testing.T) {
+	b := Baseline()
+	if b.Encoder.AreaAND2 != 1176 {
+		t.Fatalf("baseline encoder area %d, want 1176", b.Encoder.AreaAND2)
+	}
+	if b.Encoder.DelayNS != 0.09 {
+		t.Fatalf("baseline encoder delay %v, want 0.09", b.Encoder.DelayNS)
+	}
+	if b.Decoder.AreaAND2 != 2467 {
+		t.Fatalf("baseline decoder area %d, want 2467", b.Decoder.AreaAND2)
+	}
+	if b.Decoder.DelayNS != 0.20 {
+		t.Fatalf("baseline decoder delay %v, want 0.20", b.Decoder.DelayNS)
+	}
+}
+
+func rowsByName(t *testing.T) map[string]map[Variant]SchemeCost {
+	t.Helper()
+	out := map[string]map[Variant]SchemeCost{}
+	for _, r := range All() {
+		if out[r.Name] == nil {
+			out[r.Name] = map[Variant]SchemeCost{}
+		}
+		out[r.Name][r.Variant] = r
+	}
+	return out
+}
+
+func TestTrioECCWorstCaseExtraArea(t *testing.T) {
+	// §7.2: "at worst, the performant variant of TrioECC requires roughly
+	// 2500 extra AND2-gates of area per memory channel."
+	rows := rowsByName(t)
+	extra := rows["TrioECC"][Perf].Decoder.AreaAND2 - Baseline().Decoder.AreaAND2
+	if extra < 1500 || extra > 3500 {
+		t.Fatalf("TrioECC Perf extra decoder area %d, paper says ~2500", extra)
+	}
+}
+
+func TestDuetTrioModestOverheads(t *testing.T) {
+	rows := rowsByName(t)
+	for _, name := range []string{"DuetECC", "TrioECC"} {
+		area, delay := rows[name][Eff].Decoder.Overhead(Baseline().Decoder)
+		if area > 0.60 {
+			t.Fatalf("%s Eff decoder area overhead %.0f%% not modest", name, area*100)
+		}
+		if delay > 0.35 {
+			t.Fatalf("%s Eff decoder delay overhead %.0f%% not modest", name, delay*100)
+		}
+		// The added decoder delay stays far below a GPU cycle (0.66ns).
+		if rows[name][Perf].Decoder.DelayNS > 0.66 {
+			t.Fatalf("%s decoder exceeds a GPU cycle", name)
+		}
+	}
+}
+
+func TestSymbolCodesCostMore(t *testing.T) {
+	rows := rowsByName(t)
+	// §7.2: the interleaved SSC decoder suffers large area/delay
+	// overheads relative to SEC-DED, and SSC-DSD+ is the largest and
+	// slowest of all.
+	for _, v := range []Variant{Perf, Eff} {
+		if rows["I:SSC"][v].Decoder.AreaAND2 <= rows["TrioECC"][v].Decoder.AreaAND2 {
+			t.Fatalf("I:SSC %v decoder should exceed TrioECC", v)
+		}
+		if rows["SSC-DSD+"][v].Decoder.AreaAND2 <= rows["I:SSC"][v].Decoder.AreaAND2 {
+			t.Fatalf("SSC-DSD+ %v decoder should be the largest", v)
+		}
+		if rows["SSC-DSD+"][v].Decoder.DelayNS <= rows["TrioECC"][v].Decoder.DelayNS {
+			t.Fatalf("SSC-DSD+ %v decoder should be slower than TrioECC", v)
+		}
+	}
+	area, _ := rows["SSC-DSD+"][Eff].Decoder.Overhead(Baseline().Decoder)
+	if area < 1.0 || area > 4.0 {
+		t.Fatalf("SSC-DSD+ decoder overhead %.1f× outside the paper's 2–4× band", 1+area)
+	}
+}
+
+func TestPerfNotSlowerThanEff(t *testing.T) {
+	rows := rowsByName(t)
+	for name, byV := range rows {
+		p, pok := byV[Perf]
+		e, eok := byV[Eff]
+		if !pok || !eok {
+			continue
+		}
+		if p.Decoder.DelayNS > e.Decoder.DelayNS {
+			t.Fatalf("%s: Perf decoder slower than Eff", name)
+		}
+		if p.Decoder.AreaAND2 < e.Decoder.AreaAND2 {
+			t.Fatalf("%s: Perf decoder smaller than Eff", name)
+		}
+		if p.Decoder.DelayNS < Baseline().Decoder.DelayNS {
+			t.Fatalf("%s: Perf decoder beats the baseline critical path", name)
+		}
+	}
+}
+
+func TestAllRowsComplete(t *testing.T) {
+	rows := All()
+	if len(rows) != 9 {
+		t.Fatalf("expected 9 rows (baseline + 4 schemes × 2), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Encoder.AreaAND2 <= 0 || r.Decoder.AreaAND2 <= 0 ||
+			r.Encoder.DelayNS <= 0 || r.Decoder.DelayNS <= 0 {
+			t.Fatalf("row %s/%v has empty costs", r.Name, r.Variant)
+		}
+	}
+}
+
+func TestIterativeDecoderArgument(t *testing.T) {
+	// The DSC/SSC-TSD rejection: >= 8 cycles versus single-cycle one-shot
+	// decoders (every decoder here is below one 0.66ns GPU cycle).
+	if IterativeDecoderCycles < 8 {
+		t.Fatal("iterative decoding bound regressed")
+	}
+	for _, r := range All() {
+		if r.Decoder.DelayNS >= 0.66 {
+			t.Fatalf("%s/%v decoder not single-cycle", r.Name, r.Variant)
+		}
+	}
+}
+
+func TestDecoderBreakdownSumsAndOrder(t *testing.T) {
+	parts := DecoderBreakdown()
+	if len(parts) != 4 {
+		t.Fatalf("expected 4 components, got %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		if p.AreaAND2 <= 0 {
+			t.Fatalf("component %q has non-positive area %d", p.Name, p.AreaAND2)
+		}
+		total += p.AreaAND2
+	}
+	// Components must sum to the TrioECC Eff decoder (± rounding).
+	var trio int
+	for _, r := range All() {
+		if r.Name == "TrioECC" && r.Variant == Eff {
+			trio = r.Decoder.AreaAND2
+		}
+	}
+	if diff := total - trio; diff < -4 || diff > 4 {
+		t.Fatalf("breakdown sums to %d, TrioECC Eff decoder is %d", total, trio)
+	}
+	// Syndrome generation and HCM stage dominate the sanity check.
+	if parts[0].AreaAND2 < parts[3].AreaAND2 {
+		t.Fatal("syndrome stage should outweigh the CSC logic")
+	}
+}

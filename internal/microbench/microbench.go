@@ -1,0 +1,259 @@
+// Package microbench ports the paper's targeted CUDA DRAM microbenchmark
+// (§3) to the simulated GPU: it writes a known pattern to every memory
+// entry, reads memory back repeatedly (10 write loops × 20 reads each),
+// alternates every write cycle between the pattern and its inverse (to
+// diagnose unidirectional intermittent errors), and logs time-stamped
+// mismatch records to host memory. Three data patterns are supported:
+// All0/All1, pseudo-checkerboard (0x55/0xAA), and AN-encoded word indices.
+//
+// The simulation is event-driven but observation-faithful: instead of
+// scanning 2^30 entries per pass, it enumerates exactly the (entry, read)
+// pairs that could mismatch — those covered by an injected event or a
+// weak cell — and evaluates the device state at each entry's in-pass read
+// time, producing the same record stream the scanning benchmark would.
+package microbench
+
+import (
+	"math/rand"
+	"sort"
+
+	"hbm2ecc/internal/anenc"
+	"hbm2ecc/internal/beam"
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/hbm2"
+)
+
+// PatternKind selects the written data pattern.
+type PatternKind int
+
+const (
+	// AllZero writes 0x00 everywhere (0xFF on inverse cycles).
+	AllZero PatternKind = iota
+	// Checkerboard writes 0x55 everywhere (0xAA on inverse cycles).
+	Checkerboard
+	// ANEncoded writes each 8B word's global index × (2^32−1).
+	ANEncoded
+	NumPatterns
+)
+
+func (p PatternKind) String() string {
+	switch p {
+	case AllZero:
+		return "All0/All1"
+	case Checkerboard:
+		return "Checkerboard"
+	case ANEncoded:
+		return "AN-encoded"
+	default:
+		return "Pattern(?)"
+	}
+}
+
+// PatternData returns the payload written to entry idx under pattern p,
+// inverted on odd write cycles.
+func PatternData(p PatternKind, idx int64, inverse bool) [hbm2.EntryBytes]byte {
+	var d [hbm2.EntryBytes]byte
+	switch p {
+	case AllZero:
+		// zero value
+	case Checkerboard:
+		for i := range d {
+			d[i] = 0x55
+		}
+	case ANEncoded:
+		for w := 0; w < 4; w++ {
+			v := anenc.Encode(uint64(idx)*4 + uint64(w))
+			for k := 0; k < 8; k++ {
+				d[w*8+k] = byte(v >> uint(8*k))
+			}
+		}
+	}
+	if inverse {
+		for i := range d {
+			d[i] = ^d[i]
+		}
+	}
+	return d
+}
+
+// Record is one logged mismatch: an entry whose read data differed from
+// the written pattern.
+type Record struct {
+	Time      float64
+	WritePass int
+	ReadPass  int
+	Entry     int64
+	Expected  [hbm2.EntryBytes]byte
+	Got       [hbm2.EntryBytes]byte
+}
+
+// Log is the host-side mismatch log of one run.
+type Log struct {
+	Pattern   PatternKind
+	Records   []Record
+	StartTime float64
+	EndTime   float64
+	// Discarded marks runs failing the duplicated-execution /
+	// duplicated-logging / assertion checks (≈0.6% of runs, §3); their
+	// records must not be used.
+	Discarded bool
+}
+
+// Config drives one microbenchmark run.
+type Config struct {
+	Device *dram.Device
+	// Beam is the beamline, or nil for out-of-beam runs (refresh sweeps,
+	// annealing experiments).
+	Beam    *beam.Beam
+	Pattern PatternKind
+	// WritePasses and ReadsPerWrite default to the paper's 10 and 20.
+	WritePasses   int
+	ReadsPerWrite int
+	// PassDuration is the simulated wall time of one full-memory pass.
+	PassDuration float64
+	// Utilization restricts the benchmark to the first fraction of
+	// memory and scales the logic-fault rate (default 1.0).
+	Utilization float64
+	// StartTime continues a campaign's clock.
+	StartTime float64
+	// Seed drives host-side effects (run discards).
+	Seed int64
+	// DiscardProb defaults to the paper's measured 11/1830 ≈ 0.6%;
+	// a negative value disables discards entirely (controlled
+	// experiments where every run must count).
+	DiscardProb float64
+}
+
+func (c *Config) defaults() {
+	if c.WritePasses == 0 {
+		c.WritePasses = 10
+	}
+	if c.ReadsPerWrite == 0 {
+		c.ReadsPerWrite = 20
+	}
+	if c.PassDuration == 0 {
+		c.PassDuration = 0.05
+	}
+	if c.Utilization == 0 {
+		c.Utilization = 1.0
+	}
+	if c.DiscardProb == 0 {
+		c.DiscardProb = 11.0 / 1830.0
+	}
+}
+
+// Run executes one microbenchmark run and returns its mismatch log.
+func Run(cfg Config) *Log {
+	cfg.defaults()
+	dev := cfg.Device
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	log := &Log{Pattern: cfg.Pattern, StartTime: cfg.StartTime}
+
+	limit := int64(float64(dev.Cfg.Entries()) * cfg.Utilization)
+	if limit < 1 {
+		limit = 1
+	}
+	readFrac := func(entry int64) float64 { return float64(entry) / float64(limit) }
+
+	t := cfg.StartTime
+	for w := 0; w < cfg.WritePasses; w++ {
+		inverse := w%2 == 1
+		pat := func(idx int64) [hbm2.EntryBytes]byte {
+			return PatternData(cfg.Pattern, idx, inverse)
+		}
+		dev.WriteAll(pat, t)
+		writeEnd := t + cfg.PassDuration
+		// candidates maps entry -> earliest read pass that could observe
+		// a deviation.
+		candidates := map[int64]int{}
+		if cfg.Beam != nil {
+			for _, te := range cfg.Beam.Expose(t, writeEnd, cfg.Utilization) {
+				for _, eff := range te.Event.Effects {
+					if eff.Entry < limit {
+						markCandidate(candidates, eff.Entry, 0)
+					}
+				}
+			}
+		}
+		t = writeEnd
+
+		readStart := t
+		for r := 0; r < cfg.ReadsPerWrite; r++ {
+			passStart := readStart + float64(r)*cfg.PassDuration
+			passEnd := passStart + cfg.PassDuration
+			if cfg.Beam != nil {
+				for _, te := range cfg.Beam.Expose(passStart, passEnd, cfg.Utilization) {
+					for _, eff := range te.Event.Effects {
+						if eff.Entry >= limit {
+							continue
+						}
+						// Observable from this read pass if the entry is
+						// read after the event, else from the next.
+						first := r
+						if passStart+readFrac(eff.Entry)*cfg.PassDuration < te.Time {
+							first = r + 1
+						}
+						markCandidate(candidates, eff.Entry, first)
+					}
+				}
+			}
+		}
+		// Weak cells become candidates once their retention expires.
+		dev.RangeWeakCells(func(entry int64, wc dram.WeakCell) bool {
+			if entry >= limit {
+				return true
+			}
+			eff := wc.Retention + dev.RetentionShift()
+			if eff >= dev.RefreshPeriod {
+				return true
+			}
+			leakTime := dev.LastWrite() + eff
+			// First read pass whose read of this entry happens after the
+			// leak.
+			for r := 0; r < cfg.ReadsPerWrite; r++ {
+				tread := readStart + (float64(r)+readFrac(entry))*cfg.PassDuration
+				if tread > leakTime {
+					markCandidate(candidates, entry, r)
+					break
+				}
+			}
+			return true
+		})
+
+		// Evaluate candidates against device state at their read times.
+		for entry, firstRead := range candidates {
+			expected := dev.Expected(entry)
+			for r := firstRead; r < cfg.ReadsPerWrite; r++ {
+				tread := readStart + (float64(r)+readFrac(entry))*cfg.PassDuration
+				got := dev.ReadEntry(entry, tread)
+				if got != expected {
+					log.Records = append(log.Records, Record{
+						Time:      tread,
+						WritePass: w,
+						ReadPass:  r,
+						Entry:     entry,
+						Expected:  expected,
+						Got:       got,
+					})
+				}
+			}
+		}
+		t = readStart + float64(cfg.ReadsPerWrite)*cfg.PassDuration
+	}
+	log.EndTime = t
+	if rng.Float64() < cfg.DiscardProb {
+		log.Discarded = true
+	}
+	sortRecords(log.Records)
+	return log
+}
+
+func markCandidate(m map[int64]int, entry int64, firstRead int) {
+	if cur, ok := m[entry]; !ok || firstRead < cur {
+		m[entry] = firstRead
+	}
+}
+
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+}

@@ -1,0 +1,87 @@
+package microbench
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/hbm2"
+)
+
+func sampleLog(t *testing.T) *Log {
+	t.Helper()
+	dev := dram.New(hbm2.V100(), 0.048)
+	for i := int64(0); i < 5; i++ {
+		dev.AddWeakCell(i*777, dram.WeakCell{Bit: int(i), Retention: 0.001, LeakTo: 0})
+	}
+	log := Run(Config{Device: dev, Pattern: Checkerboard, Seed: 1, DiscardProb: -1})
+	if len(log.Records) == 0 {
+		t.Fatal("sample log empty")
+	}
+	return log
+}
+
+func logsEqual(a, b *Log) bool {
+	if a.Pattern != b.Pattern || a.StartTime != b.StartTime ||
+		a.EndTime != b.EndTime || a.Discarded != b.Discarded ||
+		len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	log := sampleLog(t)
+	var buf bytes.Buffer
+	if err := log.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logsEqual(log, back) {
+		t.Fatal("round trip changed the log")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	bad := `{"records":[{"exp":"zz","got":""}]}`
+	if _, err := ReadJSON(bytes.NewBufferString(bad)); err == nil {
+		t.Fatal("bad hex must fail")
+	}
+	short := `{"records":[{"exp":"00","got":"00"}]}`
+	if _, err := ReadJSON(bytes.NewBufferString(short)); err == nil {
+		t.Fatal("short payload must fail")
+	}
+}
+
+func TestWriteReadLogsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.jsonl")
+	a := sampleLog(t)
+	b := sampleLog(t)
+	b.Discarded = true
+	if err := WriteLogs(path, []*Log{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLogs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !logsEqual(a, back[0]) || !logsEqual(b, back[1]) {
+		t.Fatal("file round trip changed the campaign")
+	}
+	if _, err := ReadLogs(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

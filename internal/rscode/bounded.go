@@ -1,0 +1,159 @@
+package rscode
+
+import (
+	"hbm2ecc/internal/ecc"
+	"hbm2ecc/internal/gf256"
+)
+
+// DecodeBounded performs classic bounded-distance decoding up to t symbol
+// errors using Berlekamp-Massey for the error-locator polynomial, Chien
+// search for its roots, and Forney's formula for the error values. It
+// requires R >= 2t.
+//
+// This is the DSC (double-symbol-correct, with R=4 and t=2) decoder the
+// paper evaluates and REJECTS for GPU DRAM (§6.2): solving the locator
+// polynomial takes >= 8 cycles with iterative algebraic decoding, versus
+// the one-shot SSC and SSC-DSD+ decoders. It is implemented here so the
+// design-space comparison can be reproduced (see cmd/ecceval -dsc and the
+// ablation benchmarks), not because it is recommended.
+func (c *Code) DecodeBounded(cw []uint8, t int) Result {
+	if 2*t > c.R {
+		panic("rscode: DecodeBounded requires R >= 2t")
+	}
+	f := c.F
+	syn := make([]uint8, c.R)
+	c.Syndromes(cw, syn)
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return Result{Status: ecc.OK, Pos: -1}
+	}
+
+	// Berlekamp-Massey: find the minimal LFSR (error locator) sigma.
+	sigma := []uint8{1}
+	b := []uint8{1}
+	l := 0
+	m := 1
+	bCoef := uint8(1)
+	for n := 0; n < c.R; n++ {
+		// Discrepancy d = S_n + sum_{i=1..l} sigma_i S_{n-i}.
+		d := syn[n]
+		for i := 1; i <= l && i < len(sigma); i++ {
+			if sigma[i] != 0 && syn[n-i] != 0 {
+				d ^= f.Mul(sigma[i], syn[n-i])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			tmp := append([]uint8(nil), sigma...)
+			coef := f.Mul(d, f.Inv(bCoef))
+			sigma = polyAddShifted(f, sigma, b, coef, m)
+			l = n + 1 - l
+			b = tmp
+			bCoef = d
+			m = 1
+		} else {
+			coef := f.Mul(d, f.Inv(bCoef))
+			sigma = polyAddShifted(f, sigma, b, coef, m)
+			m++
+		}
+	}
+	if l > t {
+		return Result{Status: ecc.Detected, Pos: -1}
+	}
+
+	// Chien search: roots of sigma give error locations. Position p
+	// corresponds to root alpha^{-p}.
+	var locs []int
+	for p := 0; p < c.N; p++ {
+		x := f.Exp(-p)
+		var acc uint8
+		for i := len(sigma) - 1; i >= 0; i-- {
+			acc = f.Mul(acc, x) ^ sigma[i]
+		}
+		if acc == 0 {
+			locs = append(locs, p)
+		}
+	}
+	if len(locs) != l {
+		// Locator degree and root count disagree: uncorrectable.
+		return Result{Status: ecc.Detected, Pos: -1}
+	}
+
+	// Forney: error value at location p is
+	//   e_p = Omega(X_p^{-1}) / sigma'(X_p^{-1})   with X_p = alpha^p,
+	// where Omega = [S(x) sigma(x)] mod x^R.
+	omega := make([]uint8, c.R)
+	for i := 0; i < c.R; i++ {
+		var acc uint8
+		for j := 0; j <= i && j < len(sigma); j++ {
+			if sigma[j] != 0 && syn[i-j] != 0 {
+				acc ^= f.Mul(sigma[j], syn[i-j])
+			}
+		}
+		omega[i] = acc
+	}
+	// Apply corrections, verifying syndromes afterwards (a final sanity
+	// check equivalent to re-encoding).
+	fixed := append([]uint8(nil), cw...)
+	for _, p := range locs {
+		xInv := f.Exp(-p)
+		// Omega(xInv)
+		var om uint8
+		for i := len(omega) - 1; i >= 0; i-- {
+			om = f.Mul(om, xInv) ^ omega[i]
+		}
+		// sigma'(xInv): derivative keeps odd-degree terms.
+		var dp uint8
+		for i := 1; i < len(sigma); i += 2 {
+			// term i*sigma_i x^{i-1}; in GF(2^m), i odd -> coefficient
+			// sigma_i, even -> 0.
+			pow := uint8(1)
+			for k := 0; k < i-1; k++ {
+				pow = f.Mul(pow, xInv)
+			}
+			dp ^= f.Mul(sigma[i], pow)
+		}
+		if dp == 0 {
+			return Result{Status: ecc.Detected, Pos: -1}
+		}
+		// Syndromes start at S_0 (b=0 convention), so Forney carries an
+		// extra X_p^{1-b} = alpha^p factor.
+		fixed[p] ^= f.Mul(f.Exp(p), f.Div(om, dp))
+	}
+	check := make([]uint8, c.R)
+	c.Syndromes(fixed, check)
+	for _, s := range check {
+		if s != 0 {
+			return Result{Status: ecc.Detected, Pos: -1}
+		}
+	}
+	copy(cw, fixed)
+	pos := -1
+	if len(locs) == 1 {
+		pos = locs[0]
+	}
+	return Result{Status: ecc.Corrected, Pos: pos}
+}
+
+// polyAddShifted returns a + coef * x^shift * b over GF(2^8)[x].
+func polyAddShifted(f *gf256.Field, a, b []uint8, coef uint8, shift int) []uint8 {
+	out := append([]uint8(nil), a...)
+	for len(out) < len(b)+shift {
+		out = append(out, 0)
+	}
+	for i, bv := range b {
+		if bv != 0 {
+			out[i+shift] ^= f.Mul(coef, bv)
+		}
+	}
+	return out
+}

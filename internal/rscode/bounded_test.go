@@ -1,0 +1,152 @@
+package rscode
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbm2ecc/internal/ecc"
+	"hbm2ecc/internal/gf256"
+)
+
+func TestBoundedCleanAndGuards(t *testing.T) {
+	c := newDSDPlus(t)
+	cw := make([]uint8, c.N)
+	c.Encode(make([]uint8, c.K), cw)
+	if r := c.DecodeBounded(cw, 2); r.Status != ecc.OK {
+		t.Fatalf("clean: %+v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("t too large must panic")
+		}
+	}()
+	c.DecodeBounded(cw, 3)
+}
+
+func TestBoundedCorrectsSingleSymbol(t *testing.T) {
+	c := newDSDPlus(t)
+	rng := rand.New(rand.NewSource(1))
+	data := randData(rng, c.K)
+	ref := make([]uint8, c.N)
+	c.Encode(data, ref)
+	for pos := 0; pos < c.N; pos++ {
+		cw := append([]uint8(nil), ref...)
+		cw[pos] ^= uint8(1 + rng.Intn(255))
+		r := c.DecodeBounded(cw, 2)
+		if r.Status != ecc.Corrected || r.Pos != pos {
+			t.Fatalf("pos %d: %+v", pos, r)
+		}
+		for i := range cw {
+			if cw[i] != ref[i] {
+				t.Fatalf("pos %d: not restored", pos)
+			}
+		}
+	}
+}
+
+func TestBoundedCorrectsDoubleSymbol(t *testing.T) {
+	// The DSC capability: t=2 corrects every double-symbol error — the
+	// thing the one-shot SSC-DSD+ decoder deliberately gives up for
+	// latency.
+	c := newDSDPlus(t)
+	rng := rand.New(rand.NewSource(2))
+	data := randData(rng, c.K)
+	ref := make([]uint8, c.N)
+	c.Encode(data, ref)
+	for trial := 0; trial < 5000; trial++ {
+		i, j := rng.Intn(c.N), rng.Intn(c.N)
+		if i == j {
+			continue
+		}
+		cw := append([]uint8(nil), ref...)
+		cw[i] ^= uint8(1 + rng.Intn(255))
+		cw[j] ^= uint8(1 + rng.Intn(255))
+		r := c.DecodeBounded(cw, 2)
+		if r.Status != ecc.Corrected {
+			t.Fatalf("double (%d,%d): %+v", i, j, r)
+		}
+		for k := range cw {
+			if cw[k] != ref[k] {
+				t.Fatalf("double (%d,%d): symbol %d wrong", i, j, k)
+			}
+		}
+	}
+}
+
+func TestBoundedTripleNeverSilent(t *testing.T) {
+	// Triples exceed t=2: they must be detected or miscorrected (counted)
+	// but never reported OK; most are detected thanks to the post-check.
+	c := newDSDPlus(t)
+	rng := rand.New(rand.NewSource(3))
+	data := randData(rng, c.K)
+	ref := make([]uint8, c.N)
+	c.Encode(data, ref)
+	mis := 0
+	n := 20000
+	for trial := 0; trial < n; trial++ {
+		cw := append([]uint8(nil), ref...)
+		seen := map[int]bool{}
+		for len(seen) < 3 {
+			p := rng.Intn(c.N)
+			if !seen[p] {
+				seen[p] = true
+				cw[p] ^= uint8(1 + rng.Intn(255))
+			}
+		}
+		r := c.DecodeBounded(cw, 2)
+		if r.Status == ecc.OK {
+			t.Fatal("triple error reported OK")
+		}
+		if r.Status == ecc.Corrected {
+			same := true
+			for k := range cw {
+				if cw[k] != ref[k] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				mis++
+			}
+		}
+	}
+	if frac := float64(mis) / float64(n); frac > 0.05 {
+		t.Fatalf("triple miscorrection fraction %.3f too high for a distance-5 code", frac)
+	}
+}
+
+func TestBoundedWithSSCCodeT1(t *testing.T) {
+	// Bounded decoding with t=1 on the (18,16) code must agree with the
+	// one-shot SSC decoder on single-symbol errors.
+	c := newSSC(t)
+	rng := rand.New(rand.NewSource(4))
+	data := randData(rng, c.K)
+	ref := make([]uint8, c.N)
+	c.Encode(data, ref)
+	for pos := 0; pos < c.N; pos++ {
+		a := append([]uint8(nil), ref...)
+		b := append([]uint8(nil), ref...)
+		a[pos] ^= 0x3C
+		b[pos] ^= 0x3C
+		ra := c.DecodeSSC(a)
+		rb := c.DecodeBounded(b, 1)
+		if ra.Status != rb.Status || ra.Pos != rb.Pos {
+			t.Fatalf("pos %d: one-shot %+v vs bounded %+v", pos, ra, rb)
+		}
+	}
+}
+
+func BenchmarkBoundedDoubleSymbol(b *testing.B) {
+	c, _ := New(gf256.Default(), 36, 32)
+	data := make([]uint8, 32)
+	ref := make([]uint8, 36)
+	c.Encode(data, ref)
+	bad := append([]uint8(nil), ref...)
+	bad[3] ^= 0x11
+	bad[20] ^= 0x22
+	buf := make([]uint8, 36)
+	for i := 0; i < b.N; i++ {
+		copy(buf, bad)
+		c.DecodeBounded(buf, 2)
+	}
+}

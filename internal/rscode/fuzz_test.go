@@ -1,0 +1,43 @@
+package rscode
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/ecc"
+	"hbm2ecc/internal/gf256"
+)
+
+// FuzzDecodeArbitraryWords throws arbitrary 36-byte words at every
+// decoder: none may panic, and a Corrected result must always leave a
+// zero-syndrome codeword behind.
+func FuzzDecodeArbitraryWords(f *testing.F) {
+	f.Add(make([]byte, 36))
+	seed := make([]byte, 36)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+	dsd, _ := New(gf256.Default(), 36, 32)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) != 36 {
+			return
+		}
+		for _, decode := range []func([]uint8) Result{
+			dsd.DecodeSSCDSDPlus,
+			func(cw []uint8) Result { return dsd.DecodeBounded(cw, 2) },
+			func(cw []uint8) Result { return dsd.DecodeBounded(cw, 1) },
+		} {
+			cw := append([]uint8(nil), raw...)
+			r := decode(cw)
+			if r.Status == ecc.Corrected {
+				syn := make([]uint8, dsd.R)
+				dsd.Syndromes(cw, syn)
+				for _, s := range syn {
+					if s != 0 {
+						t.Fatal("corrected word has nonzero syndrome")
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,442 @@
+// Package stats provides the statistical machinery used by the
+// characterization experiments: linear and exponential regression with R²,
+// nonlinear least squares (Levenberg–Marquardt) for the normal retention
+// model of Fig. 3b, normal/Poisson sampling, binomial confidence intervals,
+// and histogram utilities.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// LinearFit holds the result of a least-squares line fit y = Slope*x +
+// Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// Linear fits a least-squares line through (xs, ys). It requires at least
+// two points with distinct x values.
+func Linear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched lengths")
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return LinearFit{}, errors.New("stats: need at least 2 points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// Eval returns the fitted value at x.
+func (f LinearFit) Eval(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// ExpFit holds the result of an exponential regression y = A * exp(B*x),
+// fit by log-linear least squares (the paper's dotted Fig. 1 lines).
+type ExpFit struct {
+	A  float64
+	B  float64
+	R2 float64 // R² in log space
+}
+
+// Exponential fits y = A*exp(B*x) through points with strictly positive y.
+func Exponential(xs, ys []float64) (ExpFit, error) {
+	logs := make([]float64, len(ys))
+	for i, y := range ys {
+		if y <= 0 {
+			return ExpFit{}, fmt.Errorf("stats: non-positive y[%d]=%v in exponential fit", i, y)
+		}
+		logs[i] = math.Log(y)
+	}
+	lin, err := Linear(xs, logs)
+	if err != nil {
+		return ExpFit{}, err
+	}
+	return ExpFit{A: math.Exp(lin.Intercept), B: lin.Slope, R2: lin.R2}, nil
+}
+
+// Eval returns the fitted value at x.
+func (f ExpFit) Eval(x float64) float64 { return f.A * math.Exp(f.B*x) }
+
+// HalvingInterval returns the x distance over which the fitted exponential
+// halves (negative B) or doubles (positive B).
+func (f ExpFit) HalvingInterval() float64 { return math.Ln2 / math.Abs(f.B) }
+
+// NormalCDF returns Φ((x-mu)/sigma).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormalPDF returns the normal density at x.
+func NormalPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// Model is a parametric model y = f(x; params) with analytic or numeric
+// Jacobian, fit by LevenbergMarquardt.
+type Model func(x float64, params []float64) float64
+
+// LMResult is the result of a Levenberg–Marquardt fit.
+type LMResult struct {
+	Params     []float64
+	Iterations int
+	RSS        float64 // residual sum of squares
+	R2         float64
+}
+
+// LevenbergMarquardt fits model to (xs, ys) starting from init. It uses a
+// forward-difference Jacobian and runs until convergence or maxIter.
+func LevenbergMarquardt(xs, ys []float64, model Model, init []float64, maxIter int) (LMResult, error) {
+	if len(xs) != len(ys) {
+		return LMResult{}, errors.New("stats: mismatched lengths")
+	}
+	if len(xs) < len(init) {
+		return LMResult{}, errors.New("stats: more parameters than points")
+	}
+	p := append([]float64(nil), init...)
+	np := len(p)
+	lambda := 1e-3
+
+	rss := residualSS(xs, ys, model, p)
+	var it int
+	for it = 0; it < maxIter; it++ {
+		// Jacobian (forward differences) and residuals.
+		jac := make([][]float64, len(xs))
+		res := make([]float64, len(xs))
+		for i, x := range xs {
+			res[i] = ys[i] - model(x, p)
+			jac[i] = make([]float64, np)
+			for j := 0; j < np; j++ {
+				h := 1e-6 * math.Max(1, math.Abs(p[j]))
+				pj := append([]float64(nil), p...)
+				pj[j] += h
+				jac[i][j] = (model(x, pj) - model(x, p)) / h
+			}
+		}
+		// Normal equations (JtJ + lambda*diag(JtJ)) d = Jt r.
+		jtj := make([][]float64, np)
+		jtr := make([]float64, np)
+		for j := 0; j < np; j++ {
+			jtj[j] = make([]float64, np)
+			for k := 0; k < np; k++ {
+				s := 0.0
+				for i := range xs {
+					s += jac[i][j] * jac[i][k]
+				}
+				jtj[j][k] = s
+			}
+			s := 0.0
+			for i := range xs {
+				s += jac[i][j] * res[i]
+			}
+			jtr[j] = s
+		}
+		improved := false
+		for tries := 0; tries < 30; tries++ {
+			a := make([][]float64, np)
+			for j := range a {
+				a[j] = append([]float64(nil), jtj[j]...)
+				a[j][j] += lambda * jtj[j][j]
+				if a[j][j] == 0 {
+					a[j][j] = lambda
+				}
+			}
+			d, err := solveDense(a, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			cand := make([]float64, np)
+			for j := range cand {
+				cand[j] = p[j] + d[j]
+			}
+			candRSS := residualSS(xs, ys, model, cand)
+			if candRSS < rss {
+				relImprove := (rss - candRSS) / math.Max(rss, 1e-300)
+				p, rss = cand, candRSS
+				lambda = math.Max(lambda/10, 1e-12)
+				improved = true
+				if relImprove < 1e-10 {
+					it = maxIter // converged
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			break
+		}
+	}
+
+	// R² against the mean model.
+	my := Mean(ys)
+	ss := 0.0
+	for _, y := range ys {
+		ss += (y - my) * (y - my)
+	}
+	r2 := 1.0
+	if ss > 0 {
+		r2 = 1 - rss/ss
+	}
+	return LMResult{Params: p, Iterations: it, RSS: rss, R2: r2}, nil
+}
+
+func residualSS(xs, ys []float64, model Model, p []float64) float64 {
+	s := 0.0
+	for i, x := range xs {
+		d := ys[i] - model(x, p)
+		s += d * d
+	}
+	return s
+}
+
+// solveDense solves a*x = b by Gaussian elimination with partial pivoting.
+func solveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-300 {
+			return nil, errors.New("stats: singular matrix")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, nil
+}
+
+// NormalCDFFit fits counts(x) = scale * Φ((x-mu)/sigma) to the weak-cell
+// refresh sweep (Fig. 3a/3b): x is the refresh period, counts the observed
+// weak cells. Returns (mu, sigma, scale).
+func NormalCDFFit(xs, counts []float64) (mu, sigma, scale float64, err error) {
+	if len(xs) < 3 {
+		return 0, 0, 0, errors.New("stats: need at least 3 points for normal CDF fit")
+	}
+	maxC := 0.0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	init := []float64{Mean(xs), StdDev(xs) + 1e-3, maxC * 1.2}
+	model := func(x float64, p []float64) float64 {
+		sig := math.Abs(p[1]) + 1e-9
+		return p[2] * NormalCDF(x, p[0], sig)
+	}
+	res, err := LevenbergMarquardt(xs, counts, model, init, 200)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.Params[0], math.Abs(res.Params[1]), res.Params[2], nil
+}
+
+// WilsonInterval returns the Wilson score interval for k successes out of n
+// at the given z (e.g. 1.96 for 95%). It is well behaved for k=0 and k=n.
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	// Snap exact boundary cases that drift by a ulp.
+	if k == 0 {
+		lo = 0
+	}
+	if k == n {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Proportion is a measured fraction with a confidence interval.
+type Proportion struct {
+	K, N   int
+	P      float64
+	Lo, Hi float64 // 95% Wilson interval
+}
+
+// NewProportion builds a Proportion with a 95% Wilson interval.
+func NewProportion(k, n int) Proportion {
+	lo, hi := WilsonInterval(k, n, 1.96)
+	p := 0.0
+	if n > 0 {
+		p = float64(k) / float64(n)
+	}
+	return Proportion{K: k, N: n, P: p, Lo: lo, Hi: hi}
+}
+
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.4f%% [%d/%d, 95%% CI %.4f%%–%.4f%%]",
+		p.P*100, p.K, p.N, p.Lo*100, p.Hi*100)
+}
+
+// Poisson draws a Poisson variate with the given mean using rng. It uses
+// inversion for small means and the normal approximation above 500.
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		n := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// ExpBins builds exponentially-growing histogram bin edges 1,2,4,... until
+// max is covered (used by Fig. 4b's breadth histogram).
+type ExpBins struct {
+	Edges  []int // bin i covers [Edges[i], Edges[i+1])
+	Counts []int
+}
+
+// NewExpBins creates bins [1,2), [2,4), [4,8), ... covering values up to max.
+func NewExpBins(max int) *ExpBins {
+	edges := []int{1}
+	for edges[len(edges)-1] <= max {
+		edges = append(edges, edges[len(edges)-1]*2)
+	}
+	return &ExpBins{Edges: edges, Counts: make([]int, len(edges)-1)}
+}
+
+// Add records a value (values below 1 are clamped into the first bin).
+func (b *ExpBins) Add(v int) {
+	if v < 1 {
+		v = 1
+	}
+	i := sort.SearchInts(b.Edges, v+1) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(b.Counts) {
+		i = len(b.Counts) - 1
+	}
+	b.Counts[i]++
+}
+
+// Label returns a human-readable range label for bin i.
+func (b *ExpBins) Label(i int) string {
+	lo, hi := b.Edges[i], b.Edges[i+1]-1
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d–%d", lo, hi)
+}
+
+// BinomialPMF returns C(n,k) p^k (1-p)^(n-k), computed in log space for
+// stability (used for Fig. 5's random-corruption expectation bars).
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lnChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+func lnChoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}

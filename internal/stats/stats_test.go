@@ -1,0 +1,283 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := StdDev(xs); !almostEqual(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+}
+
+func TestLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 3, 1e-12) || !almostEqual(fit.Intercept, -7, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if !almostEqual(fit.Eval(10), 23, 1e-12) {
+		t.Fatalf("Eval = %v", fit.Eval(10))
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 2.5*x+11+rng.NormFloat64()*3)
+	}
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2.5, 0.05) {
+		t.Fatalf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error for single point")
+	}
+	if _, err := Linear([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for degenerate x")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+}
+
+func TestExponentialExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 4 * math.Exp(-0.5*x)
+	}
+	fit, err := Exponential(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.A, 4, 1e-9) || !almostEqual(fit.B, -0.5, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.HalvingInterval(), math.Ln2/0.5, 1e-12) {
+		t.Fatalf("halving = %v", fit.HalvingInterval())
+	}
+}
+
+func TestExponentialRejectsNonPositive(t *testing.T) {
+	if _, err := Exponential([]float64{0, 1}, []float64{1, 0}); err == nil {
+		t.Fatal("want error for zero y")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if !almostEqual(NormalCDF(0, 0, 1), 0.5, 1e-12) {
+		t.Fatal("Φ(0) != 0.5")
+	}
+	if !almostEqual(NormalCDF(1.96, 0, 1), 0.975, 1e-3) {
+		t.Fatalf("Φ(1.96) = %v", NormalCDF(1.96, 0, 1))
+	}
+	// Symmetry property.
+	f := func(x float64) bool {
+		x = math.Mod(x, 10)
+		return almostEqual(NormalCDF(x, 0, 1)+NormalCDF(-x, 0, 1), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid integration of the PDF should match the CDF difference.
+	mu, sigma := 24.0, 13.0
+	a, b := 8.0, 48.0
+	n := 20000
+	sum := 0.0
+	h := (b - a) / float64(n)
+	for i := 0; i <= n; i++ {
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum += w * NormalPDF(a+float64(i)*h, mu, sigma)
+	}
+	sum *= h
+	want := NormalCDF(b, mu, sigma) - NormalCDF(a, mu, sigma)
+	if !almostEqual(sum, want, 1e-6) {
+		t.Fatalf("integral %v, want %v", sum, want)
+	}
+}
+
+func TestLevenbergMarquardtRecoverLine(t *testing.T) {
+	model := func(x float64, p []float64) float64 { return p[0]*x + p[1] }
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9}
+	res, err := LevenbergMarquardt(xs, ys, model, []float64{0, 0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Params[0], 2, 1e-6) || !almostEqual(res.Params[1], 1, 1e-6) {
+		t.Fatalf("params = %v", res.Params)
+	}
+	if res.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", res.R2)
+	}
+}
+
+func TestNormalCDFFitRecoversParameters(t *testing.T) {
+	// Generate weak-cell counts from a known retention-time distribution
+	// and check the fit recovers it (this is exactly the Fig. 3b pipeline).
+	mu, sigma, scale := 24.0, 13.0, 3000.0
+	xs := []float64{8, 12, 16, 24, 32, 48, 64}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = scale * NormalCDF(x, mu, sigma)
+	}
+	gmu, gsigma, gscale, err := NormalCDFFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(gmu, mu, 0.5) || !almostEqual(gsigma, sigma, 0.5) || !almostEqual(gscale, scale, 30) {
+		t.Fatalf("fit = (%v, %v, %v), want (%v, %v, %v)", gmu, gsigma, gscale, mu, sigma, scale)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 100, 1.96)
+	if lo != 0 || hi <= 0 || hi > 0.05 {
+		t.Fatalf("k=0: [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(100, 100, 1.96)
+	if hi != 1 || lo >= 1 || lo < 0.95 {
+		t.Fatalf("k=n: [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 100, 1.96)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Fatalf("k=n/2: [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("n=0: [%v,%v]", lo, hi)
+	}
+}
+
+func TestWilsonIntervalContainsP(t *testing.T) {
+	f := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%10000) + 1
+		k := int(kRaw) % (n + 1)
+		lo, hi := WilsonInterval(k, n, 1.96)
+		p := float64(k) / float64(n)
+		return lo <= p+1e-12 && p-1e-12 <= hi && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, mean := range []float64{0.5, 4, 30, 800} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(Poisson(rng, mean))
+		}
+		got := sum / float64(n)
+		if !almostEqual(got, mean, 4*math.Sqrt(mean/float64(n))+0.05*mean/10) {
+			t.Fatalf("mean %v: sample mean %v", mean, got)
+		}
+	}
+	if Poisson(rng, 0) != 0 || Poisson(rng, -1) != 0 {
+		t.Fatal("nonpositive mean must give 0")
+	}
+}
+
+func TestExpBins(t *testing.T) {
+	b := NewExpBins(5359)
+	for _, v := range []int{1, 1, 2, 3, 4, 5359} {
+		b.Add(v)
+	}
+	if b.Counts[0] != 2 { // [1,2)
+		t.Fatalf("bin 0 = %d", b.Counts[0])
+	}
+	if b.Counts[1] != 2 { // [2,4)
+		t.Fatalf("bin 1 = %d", b.Counts[1])
+	}
+	if b.Counts[2] != 1 { // [4,8)
+		t.Fatalf("bin 2 = %d", b.Counts[2])
+	}
+	last := 0
+	for i, c := range b.Counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	if b.Edges[last] > 5359 || b.Edges[last+1] <= 5359 {
+		t.Fatalf("5359 binned at [%d,%d)", b.Edges[last], b.Edges[last+1])
+	}
+	if b.Label(0) != "1" {
+		t.Fatalf("Label(0) = %q", b.Label(0))
+	}
+	if b.Label(2) != "4–7" {
+		t.Fatalf("Label(2) = %q", b.Label(2))
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	// Sums to 1.
+	total := 0.0
+	for k := 0; k <= 64; k++ {
+		total += BinomialPMF(64, k, 0.5)
+	}
+	if !almostEqual(total, 1, 1e-9) {
+		t.Fatalf("sum = %v", total)
+	}
+	if !almostEqual(BinomialPMF(8, 4, 0.5), 70.0/256.0, 1e-12) {
+		t.Fatalf("PMF(8,4,.5) = %v", BinomialPMF(8, 4, 0.5))
+	}
+	if BinomialPMF(8, 9, 0.5) != 0 || BinomialPMF(8, -1, 0.5) != 0 {
+		t.Fatal("out of range k must be 0")
+	}
+	if BinomialPMF(8, 0, 0) != 1 || BinomialPMF(8, 8, 1) != 1 {
+		t.Fatal("degenerate p")
+	}
+}
+
+func TestProportionString(t *testing.T) {
+	p := NewProportion(65, 100)
+	if p.P != 0.65 {
+		t.Fatalf("P = %v", p.P)
+	}
+	if s := p.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

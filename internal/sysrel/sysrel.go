@@ -1,0 +1,134 @@
+// Package sysrel computes the system-level resilience and availability
+// numbers of §7.3: exascale mean-time-to-interrupt (DUE) and
+// mean-time-to-failure (SDC) for each ECC scheme (Fig. 9), and the
+// ISO 26262 autonomous-vehicle analysis.
+//
+// The raw HBM2 fault rate follows the paper: 12.51 FIT/Gb (inspired by
+// Titan's GDDR5 field data), applied to a 40GB A100-class GPU. A scheme
+// converts each raw fault into a DUE or an SDC with the Table-1-weighted
+// probabilities from the evaluation engine, so
+//
+//	FIT_DUE = rawFIT × P(DUE | event),  FIT_SDC = rawFIT × P(SDC | event).
+//
+// The GPUs-per-exaflop constant is backed out of the paper's own Fig. 9
+// numbers (DuetECC MTTI 6.3h at 0.5 exaflops) — about 408k GPUs per
+// exaflop, i.e. ~2.45 sustained TFLOPS per GPU, consistent with sustained
+// application throughput rather than peak (see EXPERIMENTS.md).
+package sysrel
+
+import "hbm2ecc/internal/evalmc"
+
+// Paper constants (§7.3).
+const (
+	// RawFITPerGb is the assumed HBM2 raw fault rate (12.51 FIT/Gb).
+	RawFITPerGb = 12.51
+	// A100MemoryGb is the assumed per-GPU HBM2 capacity in gigabits
+	// (40GB).
+	A100MemoryGb = 320
+	// DefaultGPUsPerExaflop is implied by the paper's Fig. 9.
+	DefaultGPUsPerExaflop = 408_000
+	// ISO26262MaxSDCFIT is the highest-ASIL silent-corruption budget.
+	ISO26262MaxSDCFIT = 10
+	// USDrivers and USDriveMinutesPerDay parameterize the societal
+	// analysis: 225.8M drivers × 51 minutes/day.
+	USDrivers              = 225.8e6
+	USDriveMinutesPerDay   = 51.0
+	HoursPerYear           = 8766.0
+	fitToPerHour           = 1e-9
+	hoursPerDay            = 24.0
+	monthsPerHourDenom     = HoursPerYear / 12
+	daysDrivingDenominator = 60.0
+)
+
+// GPUFIT holds one scheme's per-GPU failure rates.
+type GPUFIT struct {
+	Scheme string
+	RawFIT float64
+	DUEFIT float64
+	SDCFIT float64
+}
+
+// FromWeighted converts Table-1-weighted event outcome probabilities into
+// per-GPU FIT rates for the given memory capacity.
+func FromWeighted(w evalmc.Weighted, memGb float64) GPUFIT {
+	raw := RawFITPerGb * memGb
+	return GPUFIT{
+		Scheme: w.Scheme,
+		RawFIT: raw,
+		DUEFIT: raw * w.DUE,
+		SDCFIT: raw * w.SDC,
+	}
+}
+
+// MeetsISO26262 reports whether a single-GPU system meets the 10-FIT SDC
+// budget.
+func (g GPUFIT) MeetsISO26262() bool { return g.SDCFIT <= ISO26262MaxSDCFIT }
+
+// SystemPoint is one x-axis point of Fig. 9.
+type SystemPoint struct {
+	Exaflops  float64
+	GPUs      float64
+	MTTIHours float64 // mean time to interrupt (DUE)
+	MTTFHours float64 // mean time to failure (SDC)
+}
+
+// Exascale sweeps system sizes for one scheme (Fig. 9).
+func Exascale(g GPUFIT, exaflops []float64, gpusPerExaflop float64) []SystemPoint {
+	if gpusPerExaflop == 0 {
+		gpusPerExaflop = DefaultGPUsPerExaflop
+	}
+	out := make([]SystemPoint, 0, len(exaflops))
+	for _, ef := range exaflops {
+		n := ef * gpusPerExaflop
+		p := SystemPoint{Exaflops: ef, GPUs: n}
+		if g.DUEFIT > 0 {
+			p.MTTIHours = 1 / (n * g.DUEFIT * fitToPerHour)
+		}
+		if g.SDCFIT > 0 {
+			p.MTTFHours = 1 / (n * g.SDCFIT * fitToPerHour)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// AVReport is the §7.3 societal autonomous-vehicle analysis.
+type AVReport struct {
+	Scheme string
+	SDCFIT float64
+	DUEFIT float64
+	// TotalDriveHoursPerDay across the US fleet.
+	TotalDriveHoursPerDay float64
+	// SDCPerDay / DUEPerDay are expected daily events across the fleet.
+	SDCPerDay float64
+	DUEPerDay float64
+	// DaysBetweenSDC is the expected interval between fleet-wide SDCs.
+	DaysBetweenSDC float64
+	MeetsISO26262  bool
+}
+
+// Automotive evaluates a scheme for a one-GPU-per-car US fleet.
+func Automotive(g GPUFIT) AVReport {
+	totalHours := USDrivers * USDriveMinutesPerDay / daysDrivingDenominator
+	sdcPerDay := totalHours * g.SDCFIT * fitToPerHour
+	duePerDay := totalHours * g.DUEFIT * fitToPerHour
+	rep := AVReport{
+		Scheme:                g.Scheme,
+		SDCFIT:                g.SDCFIT,
+		DUEFIT:                g.DUEFIT,
+		TotalDriveHoursPerDay: totalHours,
+		SDCPerDay:             sdcPerDay,
+		DUEPerDay:             duePerDay,
+		MeetsISO26262:         g.MeetsISO26262(),
+	}
+	if sdcPerDay > 0 {
+		rep.DaysBetweenSDC = 1 / sdcPerDay
+	}
+	return rep
+}
+
+// HoursToMonths converts hours to months for Fig. 9b reporting.
+func HoursToMonths(h float64) float64 { return h / monthsPerHourDenom }
+
+// HoursToYears converts hours to years.
+func HoursToYears(h float64) float64 { return h / HoursPerYear }

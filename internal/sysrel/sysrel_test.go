@@ -1,0 +1,120 @@
+package sysrel
+
+import (
+	"math"
+	"testing"
+
+	"hbm2ecc/internal/evalmc"
+)
+
+// paperWeighted builds Weighted outcomes from the paper's Fig. 8 numbers,
+// to validate the FIT math independent of our Monte Carlo.
+func paperWeighted(name string, dce, due, sdc float64) evalmc.Weighted {
+	return evalmc.Weighted{Scheme: name, DCE: dce, DUE: due, SDC: sdc}
+}
+
+func TestFITMathMatchesPaperAnchors(t *testing.T) {
+	// SEC-DED: 5.4% SDC × 4003 raw FIT ≈ 216 FIT (§7.3).
+	secded := FromWeighted(paperWeighted("SEC-DED", 0.74, 0.206, 0.054), A100MemoryGb)
+	if math.Abs(secded.RawFIT-4003.2) > 0.1 {
+		t.Fatalf("raw FIT %v", secded.RawFIT)
+	}
+	if math.Abs(secded.SDCFIT-216) > 3 {
+		t.Fatalf("SEC-DED SDC FIT %v, paper says 216", secded.SDCFIT)
+	}
+	if secded.MeetsISO26262() {
+		t.Fatal("SEC-DED must fail ISO 26262")
+	}
+
+	// DuetECC: 0.0013% SDC ≈ 0.052 FIT (paper rounds to 0.045).
+	duet := FromWeighted(paperWeighted("DuetECC", 0.806, 0.194, 0.000013), A100MemoryGb)
+	if duet.SDCFIT > 0.06 || duet.SDCFIT < 0.03 {
+		t.Fatalf("DuetECC SDC FIT %v, paper says 0.045", duet.SDCFIT)
+	}
+	if !duet.MeetsISO26262() {
+		t.Fatal("DuetECC must meet ISO 26262")
+	}
+
+	// TrioECC: 0.0085% SDC ≈ 0.34 FIT (paper rounds to 0.29).
+	trio := FromWeighted(paperWeighted("TrioECC", 0.97, 0.03, 0.000085), A100MemoryGb)
+	if trio.SDCFIT > 0.4 || trio.SDCFIT < 0.2 {
+		t.Fatalf("TrioECC SDC FIT %v, paper says 0.29", trio.SDCFIT)
+	}
+}
+
+func TestExascaleFig9Anchors(t *testing.T) {
+	// DuetECC DUE every ~6.3h at 0.5 exaflops (the constant that fixes
+	// DefaultGPUsPerExaflop), scaling to ~1.6h at 2 exaflops.
+	duet := FromWeighted(paperWeighted("DuetECC", 0.806, 0.1945, 0.000013), A100MemoryGb)
+	pts := Exascale(duet, []float64{0.5, 2}, 0)
+	if math.Abs(pts[0].MTTIHours-6.3) > 0.7 {
+		t.Fatalf("DuetECC MTTI at 0.5EF = %.2fh, paper says 6.3h", pts[0].MTTIHours)
+	}
+	if r := pts[0].MTTIHours / pts[1].MTTIHours; math.Abs(r-4) > 1e-9 {
+		t.Fatalf("MTTI must scale inversely with system size: ratio %v", r)
+	}
+	// DuetECC MTTF in years at scale.
+	if HoursToYears(pts[0].MTTFHours) < 1 {
+		t.Fatalf("DuetECC MTTF %.0fh should be years", pts[0].MTTFHours)
+	}
+
+	// SEC-DED SDC every ~22.5h at 0.5 exaflops.
+	secded := FromWeighted(paperWeighted("SEC-DED", 0.74, 0.206, 0.054), A100MemoryGb)
+	pts = Exascale(secded, []float64{0.5}, 0)
+	if math.Abs(pts[0].MTTFHours-22.5) > 2.5 {
+		t.Fatalf("SEC-DED MTTF at 0.5EF = %.1fh, paper says 22.5h", pts[0].MTTFHours)
+	}
+
+	// TrioECC MTTF lands in the paper's 5.7–22.6 month band.
+	trio := FromWeighted(paperWeighted("TrioECC", 0.97, 0.03, 0.000085), A100MemoryGb)
+	for _, p := range Exascale(trio, []float64{0.5, 1, 2}, 0) {
+		months := HoursToMonths(p.MTTFHours)
+		if months < 4 || months > 30 {
+			t.Fatalf("TrioECC MTTF %.1f months at %.1fEF out of band", months, p.Exaflops)
+		}
+	}
+}
+
+func TestAutomotiveFig73Anchors(t *testing.T) {
+	// SEC-DED: ~41 fleet-wide SDC events/day.
+	secded := FromWeighted(paperWeighted("SEC-DED", 0.74, 0.206, 0.054), A100MemoryGb)
+	rep := Automotive(secded)
+	if math.Abs(rep.TotalDriveHoursPerDay-1.92e8) > 0.02e8 {
+		t.Fatalf("fleet hours/day %v, paper says 1.92e8", rep.TotalDriveHoursPerDay)
+	}
+	if math.Abs(rep.SDCPerDay-41) > 3 {
+		t.Fatalf("SEC-DED SDC/day %.1f, paper says 41", rep.SDCPerDay)
+	}
+
+	// DuetECC: one SDC every ~115 days; ~148 DUE recoveries per day.
+	duet := FromWeighted(paperWeighted("DuetECC", 0.806, 0.1945, 0.000013), A100MemoryGb)
+	rep = Automotive(duet)
+	if rep.DaysBetweenSDC < 80 || rep.DaysBetweenSDC > 160 {
+		t.Fatalf("DuetECC days between SDC %.0f, paper says 115", rep.DaysBetweenSDC)
+	}
+	if math.Abs(rep.DUEPerDay-148) > 15 {
+		t.Fatalf("DuetECC DUE/day %.0f, paper says 148", rep.DUEPerDay)
+	}
+	if !rep.MeetsISO26262 {
+		t.Fatal("DuetECC must meet ISO 26262")
+	}
+
+	// TrioECC: one SDC every ~18 days.
+	trio := FromWeighted(paperWeighted("TrioECC", 0.97, 0.03, 0.000085), A100MemoryGb)
+	rep = Automotive(trio)
+	if rep.DaysBetweenSDC < 12 || rep.DaysBetweenSDC > 25 {
+		t.Fatalf("TrioECC days between SDC %.0f, paper says 18", rep.DaysBetweenSDC)
+	}
+}
+
+func TestZeroRatesGiveZeroNotInf(t *testing.T) {
+	perfect := FromWeighted(evalmc.Weighted{Scheme: "perfect", DCE: 1}, A100MemoryGb)
+	pts := Exascale(perfect, []float64{1}, 0)
+	if pts[0].MTTIHours != 0 || pts[0].MTTFHours != 0 {
+		t.Fatalf("zero-rate MTTI/MTTF should report 0 (undefined): %+v", pts[0])
+	}
+	rep := Automotive(perfect)
+	if rep.DaysBetweenSDC != 0 {
+		t.Fatalf("zero-rate DaysBetweenSDC should be 0: %v", rep.DaysBetweenSDC)
+	}
+}

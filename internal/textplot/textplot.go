@@ -1,0 +1,246 @@
+// Package textplot renders the ASCII tables, bar charts and scatter series
+// that the command-line tools use to present each reproduced table and
+// figure of the paper.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders floats compactly: scientific for very small or very
+// large magnitudes, fixed otherwise.
+func FormatFloat(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a < 1e-4 || a >= 1e7:
+		return fmt.Sprintf("%.3e", v)
+	case a < 1:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, width[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for i, w := range width {
+		total += w
+		if i > 0 {
+			total += 2
+		}
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bars renders a horizontal bar chart: one labeled bar per value, scaled
+// to maxWidth characters.
+func Bars(labels []string, values []float64, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var sb strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(maxWidth)))
+		}
+		fmt.Fprintf(&sb, "%s  %s %s\n", pad(labels[i], maxL),
+			strings.Repeat("#", n), FormatFloat(v))
+	}
+	return sb.String()
+}
+
+// LogBars renders bars on a log10 scale, for quantities spanning orders of
+// magnitude (e.g. SDC probabilities). Zero values render as "0".
+func LogBars(labels []string, values []float64, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	minExp, maxExp := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v > 0 {
+			e := math.Log10(v)
+			minExp = math.Min(minExp, e)
+			maxExp = math.Max(maxExp, e)
+		}
+	}
+	maxL := 0
+	for _, l := range labels {
+		if len(l) > maxL {
+			maxL = len(l)
+		}
+	}
+	span := maxExp - minExp
+	if span <= 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	for i, v := range values {
+		bar := "0"
+		if v > 0 {
+			n := 1 + int((math.Log10(v)-minExp)/span*float64(maxWidth-1))
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&sb, "%s  %s %s\n", pad(labels[i], maxL), bar, FormatFloat(v))
+	}
+	return sb.String()
+}
+
+// Series renders an (x, y) series as an ASCII scatter plot with the given
+// dimensions, for the trend and refresh-sweep figures.
+func Series(xs, ys []float64, width, height int, logY bool) string {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return "(no data)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	ty := func(y float64) float64 {
+		if logY {
+			if y <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		y := ty(ys[i])
+		if !math.IsInf(y, -1) {
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		y := ty(ys[i])
+		if math.IsInf(y, -1) {
+			continue
+		}
+		c := int((xs[i] - minX) / (maxX - minX) * float64(width-1))
+		r := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+		grid[r][c] = '*'
+	}
+	var sb strings.Builder
+	for r, row := range grid {
+		marker := "  "
+		if r == 0 {
+			marker = fmt.Sprintf("%9s", FormatFloat(untransform(maxY, logY)))
+		} else if r == height-1 {
+			marker = fmt.Sprintf("%9s", FormatFloat(untransform(minY, logY)))
+		} else {
+			marker = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", marker, string(row))
+	}
+	fmt.Fprintf(&sb, "%9s  %s .. %s\n", "x:", FormatFloat(minX), FormatFloat(maxX))
+	return sb.String()
+}
+
+func untransform(y float64, logY bool) float64 {
+	if logY {
+		return math.Pow(10, y)
+	}
+	return y
+}

@@ -1,0 +1,93 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("much-longer-name", 123.456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "123.456") {
+		t.Fatal("float row missing")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.5000",
+		12.5:    "12.500",
+		1e-6:    "1.000e-06",
+		3.2e9:   "3.200e+09",
+		-0.0001: "-0.0001",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 bars:\n%s", out)
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+}
+
+func TestLogBars(t *testing.T) {
+	out := LogBars([]string{"big", "small", "zero"}, []float64{1, 1e-6, 0}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 bars:\n%s", out)
+	}
+	if !strings.Contains(lines[2], " 0") || strings.Contains(lines[2], "#") {
+		t.Fatalf("zero bar should render as 0: %q", lines[2])
+	}
+	if strings.Count(lines[0], "#") <= strings.Count(lines[1], "#") {
+		t.Fatal("log bars must order by magnitude")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 2, 4, 8}
+	out := Series(xs, ys, 20, 8, false)
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	outLog := Series(xs, ys, 20, 8, true)
+	if !strings.Contains(outLog, "*") {
+		t.Fatal("no points plotted (log)")
+	}
+	if Series(nil, nil, 10, 5, false) != "(no data)\n" {
+		t.Fatal("empty series")
+	}
+	if Series([]float64{1}, []float64{2, 3}, 10, 5, false) != "(no data)\n" {
+		t.Fatal("mismatched series")
+	}
+	// Degenerate single point must not divide by zero.
+	if out := Series([]float64{1}, []float64{1}, 10, 5, false); !strings.Contains(out, "*") {
+		t.Fatal("single point lost")
+	}
+}

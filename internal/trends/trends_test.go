@@ -1,0 +1,61 @@
+package trends
+
+import (
+	"testing"
+)
+
+func TestRegressions(t *testing.T) {
+	res, err := Compute(30, 0.26, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SERFallsFasterThanCapacityGrows() {
+		t.Fatal("Fig. 1 headline: SER must fall while capacity grows")
+	}
+	if res.SERFit.R2 < 0.9 || res.CapFit.R2 < 0.8 {
+		t.Fatalf("regressions too loose: SER R²=%.3f cap R²=%.3f", res.SERFit.R2, res.CapFit.R2)
+	}
+	// The SER halves roughly every 1–3 generations.
+	if h := res.SERFit.HalvingInterval(); h < 0.5 || h > 4 {
+		t.Fatalf("SER halving interval %.2f generations implausible", h)
+	}
+}
+
+func TestHBM2OverlayWithinExpectations(t *testing.T) {
+	res, err := Compute(30, 0.26, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.3: "the low error rate of HBM2 and the high relative multi-bit
+	// rate are within expectations given the historical trends": the
+	// overall rate continues the falling trend (below the last
+	// historical point), and the multi-bit rate sits inside Borucki's
+	// non-bitcell band.
+	last := res.Points[len(res.Points)-1].SERPerChip
+	if res.HBM2SER >= last {
+		t.Fatalf("HBM2 SER %.1f should be below the last historical point %.1f",
+			res.HBM2SER, last)
+	}
+	if res.HBM2MultiBitSER < NonBitcellBand[0] || res.HBM2MultiBitSER > NonBitcellBand[1] {
+		t.Fatalf("HBM2 multi-bit SER %.2f outside the non-bitcell band %v",
+			res.HBM2MultiBitSER, NonBitcellBand)
+	}
+	if res.HBM2MultiBitSER >= res.HBM2SER {
+		t.Fatal("multi-bit share must be below the total")
+	}
+}
+
+func TestHistoricalMonotonicity(t *testing.T) {
+	pts := Historical()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SERPerChip >= pts[i-1].SERPerChip {
+			t.Fatalf("SER not falling at generation %d", i)
+		}
+		if pts[i].CapacityMb < pts[i-1].CapacityMb {
+			t.Fatalf("capacity shrinking at generation %d", i)
+		}
+		if pts[i].Generation != i {
+			t.Fatalf("generation ordinals broken at %d", i)
+		}
+	}
+}
