@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"hbm2ecc/internal/classify"
 	"hbm2ecc/internal/experiments"
 	"hbm2ecc/internal/microbench"
+	"hbm2ecc/internal/obs"
 	"hbm2ecc/internal/textplot"
 )
 
@@ -23,6 +25,10 @@ func main() {
 	runs := flag.Int("runs", 300, "microbenchmark runs (campaign)")
 	out := flag.String("o", "", "write the campaign event summary as JSON to this file")
 	rawLogs := flag.String("logs", "", "write the raw mismatch logs (JSONL) to this file for cmd/classify -in")
+	progress := flag.Int("progress", 0,
+		"campaign mode: print a one-line status every N runs (0 = silent)")
+	metrics := flag.String("metrics", "",
+		"on exit, print per-phase span durations and dump all metrics in Prometheus text format to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	switch *exp {
@@ -35,9 +41,47 @@ func main() {
 	case "utilization":
 		utilizationExperiment(*seed)
 	case "campaign":
-		campaignExperiment(*seed, *runs, *out, *rawLogs)
+		campaignExperiment(*seed, *runs, *out, *rawLogs, *progress)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	if *metrics != "" {
+		fmt.Println("\n== telemetry: per-phase span durations ==")
+		if err := obs.DefaultTracer.WritePhaseSummary(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\n== telemetry: injection/event counters ==")
+		printCounters(obs.Default.Snapshot(),
+			"beam_injected_events_total", "beam_injected_faults_total",
+			"beam_corruptions_total", "beam_weak_cells_created_total",
+			"microbench_runs_total", "microbench_mismatch_records_total")
+		if err := obs.Default.DumpPrometheus(*metrics); err != nil {
+			log.Fatalf("writing metrics: %v", err)
+		}
+		if *metrics != "-" {
+			fmt.Printf("metrics written to %s\n", *metrics)
+		}
+	}
+}
+
+// printCounters prints the selected counter families from a snapshot.
+func printCounters(snap obs.Snapshot, names ...string) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	for _, f := range snap.Families {
+		if !want[f.Name] {
+			continue
+		}
+		for _, s := range f.Series {
+			label := ""
+			for k, v := range s.Labels {
+				label += fmt.Sprintf(" %s=%s", k, v)
+			}
+			fmt.Printf("%s%s: %.0f\n", f.Name, label, s.Value)
+		}
 	}
 }
 
@@ -103,9 +147,21 @@ func utilizationExperiment(seed int64) {
 	fmt.Println(t)
 }
 
-func campaignExperiment(seed int64, runs int, out, rawLogs string) {
+func campaignExperiment(seed int64, runs int, out, rawLogs string, progress int) {
 	fmt.Printf("Running %d microbenchmark runs in the beam...\n", runs)
-	logs := experiments.CampaignLogs(experiments.CampaignConfig{Seed: seed, Runs: runs})
+	cfg := experiments.CampaignConfig{Seed: seed, Runs: runs}
+	if progress > 0 {
+		start := time.Now()
+		records := 0
+		cfg.OnRun = func(completed, total int, l *microbench.Log) {
+			records += len(l.Records)
+			if completed%progress == 0 || completed == total {
+				fmt.Printf("progress: run %d/%d, %d mismatch records, %s elapsed\n",
+					completed, total, records, time.Since(start).Round(time.Millisecond))
+			}
+		}
+	}
+	logs := experiments.CampaignLogs(cfg)
 	if rawLogs != "" {
 		if err := microbench.WriteLogs(rawLogs, logs); err != nil {
 			log.Fatal(err)
@@ -116,19 +172,27 @@ func campaignExperiment(seed int64, runs int, out, rawLogs string) {
 	fmt.Printf("events: %d, damaged entries filtered: %d, runs discarded: %d/%d\n",
 		len(an.Events), len(an.DamagedEntries), an.DiscardedRuns, an.TotalRuns)
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		enc := json.NewEncoder(f)
-		if err := enc.Encode(summarize(an.Events)); err != nil {
-			log.Fatal(err)
+		if err := writeJSON(out, summarize(an.Events)); err != nil {
+			log.Fatalf("writing event summary: %v", err)
 		}
 		fmt.Printf("event summary written to %s\n", out)
 	}
 	fmt.Println("Run cmd/classify for the full Figs. 4/5 and Table 1 breakdown,")
 	fmt.Println("or pass -experiment refresh/accumulation/annealing for Fig. 3.")
+}
+
+// writeJSON encodes v to path, failing loudly on encode AND close errors
+// (a dropped close error can silently truncate the summary on full disks).
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type eventSummary struct {

@@ -25,7 +25,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("search produced invalid matrix: %v", err)
 	}
-	txt, _ := h.MarshalText()
+	txt, err := h.MarshalText()
+	if err != nil {
+		log.Fatalf("encoding matrix: %v", err)
+	}
 	fmt.Println("H (Crockford Base32, one row per line):")
 	fmt.Println(string(txt))
 	fmt.Printf("columns: %#v\n", res.Cols)

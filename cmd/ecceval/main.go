@@ -6,10 +6,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
 
 	"hbm2ecc/internal/core"
 	"hbm2ecc/internal/errormodel"
 	"hbm2ecc/internal/evalmc"
+	"hbm2ecc/internal/obs"
 	"hbm2ecc/internal/textplot"
 )
 
@@ -17,6 +20,8 @@ func main() {
 	seed := flag.Int64("seed", 2021, "random seed")
 	samples := flag.Int("samples", 400_000, "Monte-Carlo samples per sampled pattern class (paper used 1e7/1e9)")
 	withDSC := flag.Bool("dsc", false, "also evaluate the rejected (36,32) DSC organization (slow decoder)")
+	metrics := flag.String("metrics", "",
+		"instrument every scheme's decode path and dump all metrics in Prometheus text format to this file on exit (\"-\" = stdout)")
 	flag.Parse()
 
 	schemes := []core.Scheme{
@@ -32,6 +37,11 @@ func main() {
 	}
 	if *withDSC {
 		schemes = append(schemes, core.NewDSC())
+	}
+	if *metrics != "" {
+		for i, s := range schemes {
+			schemes[i] = core.Instrumented(s)
+		}
 	}
 	results := evalmc.EvaluateAll(schemes, evalmc.Options{
 		Seed: *seed, Samples3b: *samples, SamplesBeat: *samples,
@@ -85,6 +95,19 @@ func main() {
 	fmt.Println("CSC ablation on whole-entry SDC (paper: 19x for I:SEC-DED, 2.34x for I:SSC):")
 	fmt.Printf("  I:SEC-DED -> DuetECC:   %s\n", reduction(iSEC, duetE))
 	fmt.Printf("  I:SSC     -> I:SSC+CSC: %s\n", reduction(ssc, sscCSC))
+
+	if *metrics != "" {
+		fmt.Println("\n== telemetry: per-phase span durations ==")
+		if err := obs.DefaultTracer.WritePhaseSummary(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.Default.DumpPrometheus(*metrics); err != nil {
+			log.Fatalf("writing metrics: %v", err)
+		}
+		if *metrics != "-" {
+			fmt.Printf("metrics written to %s\n", *metrics)
+		}
+	}
 }
 
 // reduction renders an SDC ratio, falling back to a CI-based lower bound

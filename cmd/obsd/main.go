@@ -1,0 +1,69 @@
+// Command obsd is a gpud-inspired health daemon for a simulated HBM2 GPU
+// fleet: every device sits in an accelerated soft-error environment, and
+// obsd periodically runs the paper's DRAM microbenchmark as a health
+// check, classifies the detected errors (SBE/MBE severity, weak-cell vs
+// soft), and serves the results over HTTP:
+//
+//	/metrics — Prometheus text format
+//	/healthz — ok/degraded JSON (503 when degraded)
+//	/state   — full fleet state JSON
+//	/spans   — aggregate health-check phase timings
+//
+// Run `obsd -once` for a single sweep printed to stdout (no server).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"hbm2ecc/internal/healthd"
+	"hbm2ecc/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	devices := flag.Int("devices", 4, "simulated fleet size")
+	interval := flag.Duration("interval", 10*time.Second, "health-check sweep interval")
+	seed := flag.Int64("seed", 2021, "random seed for the fleet's fault streams")
+	runs := flag.Int("runs", 1, "microbenchmark runs per device per check")
+	mtte := flag.Float64("mtte", 5, "per-device mean time to soft-error event, seconds")
+	once := flag.Bool("once", false, "run one sweep, print state and metrics, exit")
+	flag.Parse()
+
+	d := healthd.New(healthd.Options{
+		Devices:   *devices,
+		Seed:      *seed,
+		CheckRuns: *runs,
+		MTTE:      *mtte,
+		Registry:  obs.Default,
+	})
+
+	if *once {
+		d.CheckOnce()
+		fmt.Println("== fleet state ==")
+		b, err := json.MarshalIndent(d.State(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(b))
+		fmt.Println("== health-check phases ==")
+		if err := d.Tracer().WritePhaseSummary(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== metrics ==")
+		if err := obs.Default.WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	stop := make(chan struct{})
+	go d.Run(*interval, stop)
+	log.Printf("obsd: %d simulated devices, checking every %s, serving on %s", *devices, *interval, *addr)
+	log.Fatal(http.ListenAndServe(*addr, d.Handler()))
+}

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"hbm2ecc/internal/core"
@@ -14,6 +15,7 @@ import (
 	"hbm2ecc/internal/evalmc"
 	"hbm2ecc/internal/experiments"
 	"hbm2ecc/internal/hwmodel"
+	"hbm2ecc/internal/obs"
 	"hbm2ecc/internal/sysrel"
 	"hbm2ecc/internal/textplot"
 	"hbm2ecc/internal/trends"
@@ -23,6 +25,8 @@ func main() {
 	seed := flag.Int64("seed", 2021, "random seed")
 	runs := flag.Int("runs", 300, "campaign microbenchmark runs")
 	samples := flag.Int("samples", 400_000, "Monte-Carlo samples per sampled pattern class")
+	metrics := flag.String("metrics", "",
+		"on exit, print per-phase span durations and dump all metrics in Prometheus text format to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	start := time.Now()
@@ -86,6 +90,11 @@ func main() {
 		core.NewSECDED(false, false), core.NewDuetECC(), core.NewTrioECC(),
 		core.NewSEC2bEC(false, false), core.NewSSC(true), core.NewSSCDSDPlus(),
 	}
+	if *metrics != "" {
+		for i, s := range schemes {
+			schemes[i] = core.Instrumented(s)
+		}
+	}
 	res := evalmc.EvaluateAll(schemes, opts)
 	base := res[0].Weighted()
 	duet := res[1].Weighted()
@@ -147,6 +156,19 @@ func main() {
 	fmt.Println("================ paper vs measured ================")
 	fmt.Println(sum)
 	fmt.Printf("total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *metrics != "" {
+		fmt.Println("\n== telemetry: per-phase span durations ==")
+		if err := obs.DefaultTracer.WritePhaseSummary(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.Default.DumpPrometheus(*metrics); err != nil {
+			log.Fatalf("writing metrics: %v", err)
+		}
+		if *metrics != "-" {
+			fmt.Printf("metrics written to %s\n", *metrics)
+		}
+	}
 }
 
 func pct(p float64) string {

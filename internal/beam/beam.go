@@ -14,7 +14,24 @@ import (
 
 	"hbm2ecc/internal/dram"
 	"hbm2ecc/internal/faults"
+	"hbm2ecc/internal/obs"
 	"hbm2ecc/internal/stats"
+)
+
+// Process-wide beam telemetry (internal/obs Default registry). Counters
+// aggregate over every beamline in the process; per-device views live in
+// cmd/obsd's health daemon.
+var (
+	mInjectedArray = obs.NewCounter("beam_injected_events_total",
+		"Soft-error events injected by simulated beamlines.", "source").With("array")
+	mInjectedLogic = obs.NewCounter("beam_injected_events_total",
+		"Soft-error events injected by simulated beamlines.", "source").With("logic")
+	mInjectedKind = obs.NewCounter("beam_injected_faults_total",
+		"Injected fault events by fault kind.", "kind")
+	mCorruptions = obs.NewCounter("beam_corruptions_total",
+		"Entry corruptions applied to devices by injected events.").With()
+	mWeakCells = obs.NewCounter("beam_weak_cells_created_total",
+		"Displacement-damaged weak cells created across all beamlines.").With()
 )
 
 // Published beam parameters (§3).
@@ -177,12 +194,19 @@ func (b *Beam) Expose(t0, t1, utilization float64) []TimedEvent {
 			ev := b.Injector.NewEvent(kind)
 			te := TimedEvent{Time: t0 + b.rng.Float64()*dt, Event: ev}
 			events = append(events, te)
+			mInjectedKind.With(kind.String()).Inc()
+		}
+		if kindSel.arrayOnly {
+			mInjectedArray.Add(uint64(k))
+		} else {
+			mInjectedLogic.Add(uint64(k))
 		}
 	}
 	sortTimed(events)
 	for _, te := range events {
 		for _, eff := range te.Event.Effects {
 			b.Device.InjectCorruption(eff.Entry, eff.Corr)
+			mCorruptions.Inc()
 		}
 	}
 	return events
@@ -214,6 +238,7 @@ func (b *Beam) addWeakCell() {
 	}
 	b.Device.AddWeakCell(entry, dram.WeakCell{Bit: bit, Retention: ret, LeakTo: leak})
 	b.weakCreated++
+	mWeakCells.Inc()
 }
 
 func byteBase(dataByte int) int {

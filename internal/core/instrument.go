@@ -1,0 +1,73 @@
+package core
+
+import (
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/ecc"
+	"hbm2ecc/internal/obs"
+)
+
+var (
+	mDecodes = obs.NewCounter("core_decode_total",
+		"Decode outcomes by scheme (decoder status, not data-truth).",
+		"scheme", "outcome")
+	mEncodes = obs.NewCounter("core_encode_total",
+		"Entries encoded by scheme.", "scheme")
+	mCorrectedBits = obs.NewCounter("core_corrected_bits_total",
+		"Wire bits flipped by correction, by scheme.", "scheme")
+)
+
+// instrumented wraps a Scheme, counting encode/decode traffic and decode
+// outcomes into the Default obs registry. The counter handles are
+// resolved once at wrap time, so each decode pays one atomic add.
+type instrumented struct {
+	Scheme
+	enc, okc, corr, det, bits *obs.Counter
+}
+
+// Instrumented wraps s with decode-path telemetry. Wrapping is
+// idempotent; the wrapper preserves Name and all decode semantics.
+func Instrumented(s Scheme) Scheme {
+	if _, ok := s.(*instrumented); ok {
+		return s
+	}
+	n := s.Name()
+	return &instrumented{
+		Scheme: s,
+		enc:    mEncodes.With(n),
+		okc:    mDecodes.With(n, "ok"),
+		corr:   mDecodes.With(n, "corrected"),
+		det:    mDecodes.With(n, "detected"),
+		bits:   mCorrectedBits.With(n),
+	}
+}
+
+func (i *instrumented) Encode(data [bitvec.DataBytes]byte) bitvec.V288 {
+	i.enc.Inc()
+	return i.Scheme.Encode(data)
+}
+
+func (i *instrumented) count(status ecc.Status, correctedBits int) {
+	switch status {
+	case ecc.OK:
+		i.okc.Inc()
+	case ecc.Corrected:
+		i.corr.Inc()
+	case ecc.Detected:
+		i.det.Inc()
+	}
+	if correctedBits > 0 {
+		i.bits.Add(uint64(correctedBits))
+	}
+}
+
+func (i *instrumented) DecodeWire(recv bitvec.V288) WireResult {
+	res := i.Scheme.DecodeWire(recv)
+	i.count(res.Status, res.CorrectedBits)
+	return res
+}
+
+func (i *instrumented) Decode(recv bitvec.V288) DecodeResult {
+	res := i.Scheme.Decode(recv)
+	i.count(res.Status, res.CorrectedBits)
+	return res
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/ecc"
+)
+
+// TestInstrumentedPreservesSemantics checks the telemetry wrapper is a
+// pure pass-through: identical encodes and decode outcomes, counters
+// moving as traffic flows.
+func TestInstrumentedPreservesSemantics(t *testing.T) {
+	plain := NewSECDED(false, false)
+	wrapped := Instrumented(plain)
+	if wrapped.Name() != plain.Name() {
+		t.Errorf("Name changed: %q vs %q", wrapped.Name(), plain.Name())
+	}
+	if Instrumented(wrapped) != wrapped {
+		t.Errorf("Instrumented not idempotent")
+	}
+
+	var data [bitvec.DataBytes]byte
+	data[0] = 0xA5
+	w1, w2 := plain.Encode(data), wrapped.Encode(data)
+	if w1 != w2 {
+		t.Fatalf("Encode differs under instrumentation")
+	}
+
+	before := mDecodes.With(plain.Name(), "corrected").Value()
+	flip := bitvec.V288{}.SetBit(3, 1)
+	recv := w1.Xor(flip)
+	r1, r2 := plain.DecodeWire(recv), wrapped.DecodeWire(recv)
+	if r1.Status != r2.Status || r1.Wire != r2.Wire || r1.CorrectedBits != r2.CorrectedBits {
+		t.Fatalf("DecodeWire differs: %+v vs %+v", r1, r2)
+	}
+	if r2.Status != ecc.Corrected {
+		t.Fatalf("single-bit flip not corrected: %v", r2.Status)
+	}
+	after := mDecodes.With(plain.Name(), "corrected").Value()
+	if after != before+1 {
+		t.Errorf("corrected counter moved %d -> %d, want +1", before, after)
+	}
+
+	d1, d2 := plain.Decode(recv), wrapped.Decode(recv)
+	if d1.Status != d2.Status || d1.Data != d2.Data {
+		t.Errorf("Decode differs: %+v vs %+v", d1, d2)
+	}
+}

@@ -17,13 +17,32 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"hbm2ecc/internal/bitvec"
 	"hbm2ecc/internal/core"
 	"hbm2ecc/internal/ecc"
 	"hbm2ecc/internal/errormodel"
+	"hbm2ecc/internal/obs"
 	"hbm2ecc/internal/stats"
+)
+
+// Monte-Carlo telemetry: outcome counters accumulate per (scheme,
+// pattern, outcome); throughput and convergence gauges track the most
+// recent evaluation. All updates happen per pattern class or per worker
+// batch — never inside the per-trial loop — so the hot path is untouched.
+var (
+	mOutcomes = obs.NewCounter("evalmc_outcomes_total",
+		"Decode outcomes observed by the evaluator.", "scheme", "pattern", "outcome")
+	mTrialRate = obs.NewGauge("evalmc_trials_per_sec",
+		"Aggregate sampling throughput of the latest evaluation.", "scheme", "pattern")
+	mWorkerRate = obs.NewGauge("evalmc_worker_trials_per_sec",
+		"Per-worker sampling throughput of the latest evaluation.", "scheme", "pattern", "worker")
+	mConvergence = obs.NewGauge("evalmc_sdc_ci_halfwidth",
+		"Half-width of the 95% Wilson interval of the SDC fraction (convergence).",
+		"scheme", "pattern")
 )
 
 // Options configures an evaluation run.
@@ -132,21 +151,42 @@ func Evaluate(s core.Scheme, opts Options) SchemeResult {
 	wire := s.Encode(opts.Data)
 	res := SchemeResult{Scheme: s.Name()}
 
+	span := obs.DefaultTracer.Start("evalmc.evaluate")
+	span.SetAttr("scheme", s.Name())
 	for p := errormodel.Bit1; p < errormodel.NumPatterns; p++ {
+		ps := span.Child("pattern")
+		ps.SetAttr("pattern", p.String())
+		start := time.Now()
 		if errormodel.EnumerableCount(p) >= 0 {
 			res.PerPattern[p] = evaluateExhaustive(s, wire, p)
-			continue
+		} else {
+			n := opts.Samples3b
+			switch p {
+			case errormodel.Beat1:
+				n = opts.SamplesBeat
+			case errormodel.Entry1:
+				n = opts.SamplesEntry
+			}
+			res.PerPattern[p] = evaluateSampled(s, wire, p, n, opts.Seed, opts.Parallel)
 		}
-		n := opts.Samples3b
-		switch p {
-		case errormodel.Beat1:
-			n = opts.SamplesBeat
-		case errormodel.Entry1:
-			n = opts.SamplesEntry
-		}
-		res.PerPattern[p] = evaluateSampled(s, wire, p, n, opts.Seed, opts.Parallel)
+		recordPattern(s.Name(), res.PerPattern[p], time.Since(start))
+		ps.Finish()
 	}
+	span.Finish()
 	return res
+}
+
+// recordPattern publishes one pattern class's results to the registry.
+func recordPattern(scheme string, r PatternResult, elapsed time.Duration) {
+	pat := r.Pattern.String()
+	mOutcomes.With(scheme, pat, "dce").Add(uint64(r.DCE))
+	mOutcomes.With(scheme, pat, "due").Add(uint64(r.DUE))
+	mOutcomes.With(scheme, pat, "sdc").Add(uint64(r.SDC))
+	if sec := elapsed.Seconds(); sec > 0 {
+		mTrialRate.With(scheme, pat).Set(float64(r.N) / sec)
+	}
+	lo, hi := r.SDCInterval()
+	mConvergence.With(scheme, pat).Set((hi - lo) / 2)
 }
 
 func classifyOutcome(s core.Scheme, wire, e bitvec.V288) ecc.Outcome {
@@ -197,6 +237,7 @@ func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			start := time.Now()
 			// Distinct deterministic stream per worker and pattern.
 			smp := errormodel.NewSampler(seed + int64(w)*1_000_003 + int64(p)*7_919)
 			var c counts
@@ -213,6 +254,10 @@ func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n in
 				}
 			}
 			parts[w] = c
+			if sec := time.Since(start).Seconds(); sec > 0 {
+				mWorkerRate.With(s.Name(), p.String(), strconv.Itoa(w)).
+					Set(float64(c.n) / sec)
+			}
 		}()
 	}
 	wg.Wait()

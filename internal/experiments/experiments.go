@@ -6,11 +6,14 @@
 package experiments
 
 import (
+	"strconv"
+
 	"hbm2ecc/internal/beam"
 	"hbm2ecc/internal/classify"
 	"hbm2ecc/internal/dram"
 	"hbm2ecc/internal/hbm2"
 	"hbm2ecc/internal/microbench"
+	"hbm2ecc/internal/obs"
 	"hbm2ecc/internal/stats"
 )
 
@@ -169,10 +172,18 @@ type CampaignConfig struct {
 	// simulation without affecting clustering, since it stays far above
 	// the read-pass duration).
 	MTTE float64
+	// OnRun, when set, is called after each microbenchmark run with the
+	// number of completed runs, the total, and the run's log (progress
+	// reporting). It must not mutate the log.
+	OnRun func(completed, total int, log *microbench.Log)
 }
 
 // CampaignLogs runs the beam campaign and returns the raw microbenchmark
-// logs (one per run), for persistence or custom post-processing.
+// logs (one per run), for persistence or custom post-processing. The
+// campaign records an obs span tree (campaign -> device_setup, run ->
+// write_pass/read_scan/evaluate) on the default tracer; telemetry never
+// touches the simulation RNG, so instrumented and bare campaigns produce
+// identical logs for the same config.
 func CampaignLogs(cfg CampaignConfig) []*microbench.Log {
 	if cfg.Runs == 0 {
 		cfg.Runs = 300
@@ -180,24 +191,36 @@ func CampaignLogs(cfg CampaignConfig) []*microbench.Log {
 	if cfg.MTTE == 0 {
 		cfg.MTTE = 5
 	}
+	span := obs.DefaultTracer.Start("campaign")
+	span.SetAttr("runs", strconv.Itoa(cfg.Runs))
+	setup := span.Child("device_setup")
 	dev := dram.New(hbm2.V100(), dram.DefaultRefreshPeriod)
 	b := beam.New(dev, beam.Config{
 		Seed:           cfg.Seed,
 		SEURatePerFlux: 1 / (cfg.MTTE * beam.ChipIRFlux),
 	})
+	setup.Finish()
 	var logs []*microbench.Log
 	t := 0.0
 	for run := 0; run < cfg.Runs; run++ {
+		rs := span.Child("run")
 		log := microbench.Run(microbench.Config{
 			Device:    dev,
 			Beam:      b,
 			Pattern:   microbench.PatternKind(run % int(microbench.NumPatterns)),
 			StartTime: t,
 			Seed:      cfg.Seed*1_000_003 + int64(run),
+			Span:      rs,
 		})
+		rs.SetAttr("pattern", log.Pattern.String())
+		rs.Finish()
 		t = log.EndTime
 		logs = append(logs, log)
+		if cfg.OnRun != nil {
+			cfg.OnRun(run+1, cfg.Runs, log)
+		}
 	}
+	span.Finish()
 	return logs
 }
 

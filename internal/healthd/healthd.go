@@ -1,0 +1,369 @@
+// Package healthd is the engine behind cmd/obsd: a gpud-style health
+// daemon for a simulated HBM2 GPU fleet. Each device sits in its own
+// beamline (accelerated soft-error environment); the daemon periodically
+// runs the paper's DRAM microbenchmark as a health check against every
+// device, classifies what it observes — SBE vs MBE severity, weak-cell
+// (displacement damage, repeating across write passes) vs one-shot soft
+// errors — and publishes everything through an obs registry plus JSON
+// fleet state. Field monitors like leptonai/gpud do the same dance with
+// real NVML counters; here the "hardware" is the repository's own
+// device model, which makes the daemon a deterministic integration rig
+// for the characterization pipeline.
+package healthd
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"hbm2ecc/internal/beam"
+	"hbm2ecc/internal/classify"
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/hbm2"
+	"hbm2ecc/internal/microbench"
+	"hbm2ecc/internal/obs"
+)
+
+// Options configures the daemon.
+type Options struct {
+	// Devices is the simulated fleet size (default 4).
+	Devices int
+	// Seed makes the fleet's fault streams reproducible.
+	Seed int64
+	// CheckRuns is the number of microbenchmark runs per device per
+	// health check (default 1).
+	CheckRuns int
+	// WritePasses / ReadsPerWrite size each check's microbenchmark
+	// (defaults 4 and 5 — a short check, not the paper's full 10×20).
+	WritePasses   int
+	ReadsPerWrite int
+	// MTTE is each beamline's mean time to soft-error event in seconds
+	// (default 5, the campaign calibration).
+	MTTE float64
+	// WeakEntryThreshold marks a device degraded once a single check
+	// observes at least this many distinct damaged entries (default 25).
+	WeakEntryThreshold int
+	// EventThreshold marks a device degraded once a single check
+	// observes at least this many soft-error events (default 50).
+	EventThreshold int
+	// RecordThreshold marks a device degraded once a single check logs
+	// at least this many raw mismatch records (default 10000). This
+	// backstops EventThreshold: a flooded log clusters into very few
+	// (huge) events, so the event count alone cannot see a storm.
+	RecordThreshold int
+	// Registry receives the daemon's metrics (default obs.Default).
+	Registry *obs.Registry
+}
+
+func (o *Options) defaults() {
+	if o.Devices <= 0 {
+		o.Devices = 4
+	}
+	if o.CheckRuns <= 0 {
+		o.CheckRuns = 1
+	}
+	if o.WritePasses <= 0 {
+		o.WritePasses = 4
+	}
+	if o.ReadsPerWrite <= 0 {
+		o.ReadsPerWrite = 5
+	}
+	if o.MTTE <= 0 {
+		o.MTTE = 5
+	}
+	if o.WeakEntryThreshold <= 0 {
+		o.WeakEntryThreshold = 25
+	}
+	if o.EventThreshold <= 0 {
+		o.EventThreshold = 50
+	}
+	if o.RecordThreshold <= 0 {
+		o.RecordThreshold = 10_000
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default
+	}
+}
+
+// Daemon owns the simulated fleet and its telemetry.
+type Daemon struct {
+	opts   Options
+	tracer *obs.Tracer
+	start  time.Time
+
+	mChecks        *obs.CounterVec // healthd_checks_total{device}
+	mEvents        *obs.CounterVec // healthd_soft_events_total{device,severity}
+	mEventClass    *obs.CounterVec // healthd_event_class_total{device,class}
+	mWeakObserved  *obs.GaugeVec   // healthd_weak_entries{device}
+	mWeakTrue      *obs.GaugeVec   // healthd_weak_cells_true{device}
+	mFluence       *obs.GaugeVec   // healthd_fluence_ncm2{device}
+	mRecords       *obs.CounterVec // healthd_mismatch_records_total{device}
+	mHealthy       *obs.GaugeVec   // healthd_device_healthy{device}
+	mChecksTotal   *obs.Counter    // healthd_fleet_checks_total
+	mCheckDuration *obs.Histogram  // healthd_check_duration_seconds
+
+	mu      sync.Mutex
+	devices []*device
+	checks  int
+}
+
+type device struct {
+	id    string
+	dev   *dram.Device
+	beam  *beam.Beam
+	clock float64
+
+	weakObserved int
+	softEvents   int
+	sbe, mbe     int
+	classTotals  map[string]int
+	records      int
+	healthy      bool
+	reason       string
+	lastCheck    time.Time
+	lastDuration time.Duration
+}
+
+// New builds the daemon and its simulated fleet.
+func New(opts Options) *Daemon {
+	opts.defaults()
+	r := opts.Registry
+	d := &Daemon{
+		opts:   opts,
+		tracer: obs.NewTracer(r),
+		start:  time.Now(),
+		mChecks: r.Counter("healthd_checks_total",
+			"Health checks executed per device.", "device"),
+		mEvents: r.Counter("healthd_soft_events_total",
+			"Soft-error events observed by health checks, by severity (sbe/mbe).",
+			"device", "severity"),
+		mEventClass: r.Counter("healthd_event_class_total",
+			"Soft-error events by paper taxonomy (SBSE/SBME/MBSE/MBME).",
+			"device", "class"),
+		mWeakObserved: r.Gauge("healthd_weak_entries",
+			"Distinct damaged (weak-cell) entries observed by the latest check.", "device"),
+		mWeakTrue: r.Gauge("healthd_weak_cells_true",
+			"Ground-truth weak cells present in the device model.", "device"),
+		mFluence: r.Gauge("healthd_fluence_ncm2",
+			"Cumulative beam fluence absorbed by the device (n/cm2).", "device"),
+		mRecords: r.Counter("healthd_mismatch_records_total",
+			"Raw mismatch records logged by health checks.", "device"),
+		mHealthy: r.Gauge("healthd_device_healthy",
+			"1 if the device passed its latest health check, else 0.", "device"),
+		mChecksTotal: r.Counter("healthd_fleet_checks_total",
+			"Fleet-wide health check sweeps completed.").With(),
+		mCheckDuration: r.Histogram("healthd_check_duration_seconds",
+			"Wall-clock duration of one device health check.",
+			obs.ExpBuckets(1e-5, 4, 12)).With(),
+	}
+	for i := 0; i < opts.Devices; i++ {
+		dev := dram.New(hbm2.V100(), dram.DefaultRefreshPeriod)
+		b := beam.New(dev, beam.Config{
+			Seed:           opts.Seed + int64(i)*7919,
+			SEURatePerFlux: 1 / (opts.MTTE * beam.ChipIRFlux),
+		})
+		d.devices = append(d.devices, &device{
+			id:          "gpu" + strconv.Itoa(i),
+			dev:         dev,
+			beam:        b,
+			healthy:     true,
+			reason:      "not yet checked",
+			classTotals: map[string]int{},
+		})
+	}
+	return d
+}
+
+// Tracer returns the daemon's tracer (health-check span trees).
+func (d *Daemon) Tracer() *obs.Tracer { return d.tracer }
+
+// Registry returns the registry the daemon publishes to.
+func (d *Daemon) Registry() *obs.Registry { return d.opts.Registry }
+
+// CheckOnce runs one health-check sweep across the fleet.
+func (d *Daemon) CheckOnce() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sweep := d.tracer.Start("healthd.sweep")
+	for i, dv := range d.devices {
+		span := sweep.Child("check")
+		span.SetAttr("device", dv.id)
+		start := time.Now()
+		d.checkDevice(dv, int64(d.checks)*1009+int64(i), span)
+		dv.lastDuration = time.Since(start)
+		dv.lastCheck = time.Now()
+		d.mCheckDuration.Observe(dv.lastDuration.Seconds())
+		span.Finish()
+	}
+	d.checks++
+	d.mChecksTotal.Inc()
+	sweep.Finish()
+}
+
+// checkDevice runs the microbenchmark health check against one device
+// and folds the classified observations into the device state.
+func (d *Daemon) checkDevice(dv *device, salt int64, span *obs.Span) {
+	var logs []*microbench.Log
+	for run := 0; run < d.opts.CheckRuns; run++ {
+		log := microbench.Run(microbench.Config{
+			Device:        dv.dev,
+			Beam:          dv.beam,
+			Pattern:       microbench.PatternKind(run % int(microbench.NumPatterns)),
+			WritePasses:   d.opts.WritePasses,
+			ReadsPerWrite: d.opts.ReadsPerWrite,
+			StartTime:     dv.clock,
+			Seed:          d.opts.Seed + salt*1_000_003 + int64(run),
+			DiscardProb:   -1, // health checks must not self-discard
+			Span:          span,
+		})
+		dv.clock = log.EndTime
+		logs = append(logs, log)
+	}
+
+	// Weak-vs-soft split: entries erroring in >=2 write passes inside
+	// this check are displacement damage (intermittent); the remaining
+	// clustered events are one-shot soft errors.
+	an := classify.Analyze(logs, classify.Options{})
+	records := 0
+	for _, l := range logs {
+		records += len(l.Records)
+	}
+	dv.records += records
+	dv.weakObserved = len(an.DamagedEntries)
+	dv.softEvents += len(an.Events)
+	sbe, mbe := 0, 0
+	for _, ev := range an.Events {
+		dv.classTotals[ev.Class.String()]++
+		d.mEventClass.With(dv.id, ev.Class.String()).Inc()
+		if ev.MultiBit() {
+			mbe++
+		} else {
+			sbe++
+		}
+	}
+	dv.sbe += sbe
+	dv.mbe += mbe
+
+	dv.healthy, dv.reason = d.verdict(dv, len(an.Events), records)
+
+	d.mChecks.With(dv.id).Inc()
+	d.mEvents.With(dv.id, "sbe").Add(uint64(sbe))
+	d.mEvents.With(dv.id, "mbe").Add(uint64(mbe))
+	d.mRecords.With(dv.id).Add(uint64(records))
+	d.mWeakObserved.With(dv.id).Set(float64(dv.weakObserved))
+	d.mWeakTrue.With(dv.id).Set(float64(dv.dev.WeakCellCount()))
+	d.mFluence.With(dv.id).Set(dv.beam.Fluence())
+	if dv.healthy {
+		d.mHealthy.With(dv.id).Set(1)
+	} else {
+		d.mHealthy.With(dv.id).Set(0)
+	}
+}
+
+func (d *Daemon) verdict(dv *device, events, records int) (bool, string) {
+	if dv.weakObserved >= d.opts.WeakEntryThreshold {
+		return false, fmt.Sprintf("displacement damage: %d weak entries >= threshold %d",
+			dv.weakObserved, d.opts.WeakEntryThreshold)
+	}
+	if events >= d.opts.EventThreshold {
+		return false, fmt.Sprintf("soft-error storm: %d events in one check >= threshold %d",
+			events, d.opts.EventThreshold)
+	}
+	if records >= d.opts.RecordThreshold {
+		return false, fmt.Sprintf("soft-error storm: %d mismatch records in one check >= threshold %d",
+			records, d.opts.RecordThreshold)
+	}
+	return true, "ok"
+}
+
+// DeviceState is one device's externally visible state.
+type DeviceState struct {
+	ID                  string         `json:"id"`
+	Healthy             bool           `json:"healthy"`
+	Reason              string         `json:"reason"`
+	SimClockSeconds     float64        `json:"sim_clock_seconds"`
+	FluenceNCm2         float64        `json:"fluence_n_cm2"`
+	WeakEntriesObserved int            `json:"weak_entries_observed"`
+	WeakCellsTrue       int            `json:"weak_cells_true"`
+	SoftEventsTotal     int            `json:"soft_events_total"`
+	SBETotal            int            `json:"sbe_total"`
+	MBETotal            int            `json:"mbe_total"`
+	EventClassTotals    map[string]int `json:"event_class_totals,omitempty"`
+	MismatchRecords     int            `json:"mismatch_records_total"`
+	LastCheck           time.Time      `json:"last_check"`
+	LastCheckDurationMS float64        `json:"last_check_duration_ms"`
+}
+
+// State is the fleet-wide /state payload.
+type State struct {
+	Status        string        `json:"status"` // "ok" or "degraded"
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Checks        int           `json:"checks"`
+	Devices       []DeviceState `json:"devices"`
+}
+
+// State snapshots the fleet.
+func (d *Daemon) State() State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := State{
+		Status:        "ok",
+		UptimeSeconds: time.Since(d.start).Seconds(),
+		Checks:        d.checks,
+	}
+	for _, dv := range d.devices {
+		ct := make(map[string]int, len(dv.classTotals))
+		for k, v := range dv.classTotals {
+			ct[k] = v
+		}
+		st.Devices = append(st.Devices, DeviceState{
+			ID:                  dv.id,
+			Healthy:             dv.healthy,
+			Reason:              dv.reason,
+			SimClockSeconds:     dv.clock,
+			FluenceNCm2:         dv.beam.Fluence(),
+			WeakEntriesObserved: dv.weakObserved,
+			WeakCellsTrue:       dv.dev.WeakCellCount(),
+			SoftEventsTotal:     dv.softEvents,
+			SBETotal:            dv.sbe,
+			MBETotal:            dv.mbe,
+			EventClassTotals:    ct,
+			MismatchRecords:     dv.records,
+			LastCheck:           dv.lastCheck,
+			LastCheckDurationMS: float64(dv.lastDuration) / float64(time.Millisecond),
+		})
+		if !dv.healthy {
+			st.Status = "degraded"
+		}
+	}
+	return st
+}
+
+// Healthy reports whether every device passed its latest check.
+func (d *Daemon) Healthy() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, dv := range d.devices {
+		if !dv.healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes health-check sweeps every interval until stop is closed.
+// The first sweep runs immediately.
+func (d *Daemon) Run(interval time.Duration, stop <-chan struct{}) {
+	d.CheckOnce()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			d.CheckOnce()
+		case <-stop:
+			return
+		}
+	}
+}

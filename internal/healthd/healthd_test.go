@@ -1,0 +1,175 @@
+package healthd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hbm2ecc/internal/obs"
+)
+
+func newTestDaemon(t *testing.T) *Daemon {
+	t.Helper()
+	return New(Options{
+		Devices:  2,
+		Seed:     7,
+		Registry: obs.NewRegistry(),
+	})
+}
+
+// TestCheckOncePopulatesState runs one sweep and checks state, health
+// and metrics all reflect it.
+func TestCheckOncePopulatesState(t *testing.T) {
+	d := newTestDaemon(t)
+	d.CheckOnce()
+
+	st := d.State()
+	if st.Checks != 1 {
+		t.Errorf("checks = %d, want 1", st.Checks)
+	}
+	if len(st.Devices) != 2 {
+		t.Fatalf("devices = %d, want 2", len(st.Devices))
+	}
+	for _, dv := range st.Devices {
+		if dv.SimClockSeconds <= 0 {
+			t.Errorf("device %s sim clock did not advance", dv.ID)
+		}
+		if dv.FluenceNCm2 <= 0 {
+			t.Errorf("device %s absorbed no fluence", dv.ID)
+		}
+		if dv.Reason == "not yet checked" {
+			t.Errorf("device %s reason not updated", dv.ID)
+		}
+	}
+
+	// A 5s-MTTE beamline over a multi-second check almost surely logs
+	// events across 2 devices; don't flake on it, just require the
+	// counters to be self-consistent.
+	for _, dv := range st.Devices {
+		if dv.SBETotal+dv.MBETotal != dv.SoftEventsTotal {
+			t.Errorf("device %s: sbe+mbe=%d != events=%d",
+				dv.ID, dv.SBETotal+dv.MBETotal, dv.SoftEventsTotal)
+		}
+	}
+}
+
+// TestEndpoints exercises /metrics, /healthz, /state and /spans over
+// real HTTP.
+func TestEndpoints(t *testing.T) {
+	d := newTestDaemon(t)
+	d.CheckOnce()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, metrics := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE healthd_checks_total counter",
+		`healthd_checks_total{device="gpu0"} 1`,
+		"# TYPE healthd_fluence_ncm2 gauge",
+		"healthd_check_duration_seconds_bucket",
+		"obs_span_duration_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, hz := get("/healthz")
+	var hzObj struct {
+		Status  string `json:"status"`
+		Healthy bool   `json:"healthy"`
+	}
+	if err := json.Unmarshal([]byte(hz), &hzObj); err != nil {
+		t.Fatalf("/healthz not JSON: %v (%s)", err, hz)
+	}
+	if hzObj.Healthy && code != 200 || !hzObj.Healthy && code != 503 {
+		t.Errorf("/healthz code %d inconsistent with healthy=%v", code, hzObj.Healthy)
+	}
+
+	code, stateBody := get("/state")
+	if code != 200 {
+		t.Fatalf("/state status %d", code)
+	}
+	var st State
+	if err := json.Unmarshal([]byte(stateBody), &st); err != nil {
+		t.Fatalf("/state not JSON: %v", err)
+	}
+	if st.Checks != 1 || len(st.Devices) != 2 {
+		t.Errorf("/state = checks %d devices %d", st.Checks, len(st.Devices))
+	}
+
+	code, spans := get("/spans")
+	if code != 200 || !strings.Contains(spans, "healthd.sweep") {
+		t.Errorf("/spans missing sweep phase (code %d):\n%s", code, spans)
+	}
+}
+
+// TestDegradedVerdict forces the weak-entry threshold low enough that a
+// heavily damaged device trips it.
+func TestDegradedVerdict(t *testing.T) {
+	d := New(Options{
+		Devices:            1,
+		Seed:               3,
+		Registry:           obs.NewRegistry(),
+		WeakEntryThreshold: 1,
+		CheckRuns:          2,
+	})
+	// Saturate displacement damage: expose the device for ~5 saturation
+	// fluences before the first check, then lengthen the refresh period
+	// indirectly by just running checks until a weak entry is seen.
+	dv := d.devices[0]
+	dur := 5 * dv.beam.Damage.SaturationFluence / dv.beam.Flux
+	dv.beam.Expose(dv.clock, dv.clock+dur, 0)
+	dv.clock += dur
+
+	d.CheckOnce()
+	if d.Healthy() {
+		t.Fatalf("saturated device still healthy: %+v", d.State().Devices[0])
+	}
+	st := d.State()
+	if st.Status != "degraded" {
+		t.Errorf("fleet status = %q, want degraded", st.Status)
+	}
+	if !strings.Contains(st.Devices[0].Reason, "displacement damage") {
+		t.Errorf("reason = %q", st.Devices[0].Reason)
+	}
+}
+
+// TestStormVerdictByRecords: a flooded log clusters into very few huge
+// events, so the storm detector must also look at raw mismatch records.
+func TestStormVerdictByRecords(t *testing.T) {
+	d := New(Options{
+		Devices:         1,
+		Seed:            11,
+		Registry:        obs.NewRegistry(),
+		MTTE:            0.002, // ~600 events over a ~1.2s check window
+		RecordThreshold: 1000,
+	})
+	d.CheckOnce()
+	if d.Healthy() {
+		t.Fatalf("flooded device still healthy: %+v", d.State().Devices[0])
+	}
+	reason := d.State().Devices[0].Reason
+	if !strings.Contains(reason, "mismatch records") {
+		t.Errorf("reason = %q, want records-based storm verdict", reason)
+	}
+}

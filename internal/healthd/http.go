@@ -1,0 +1,55 @@
+package healthd
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	/metrics — Prometheus text exposition of the daemon's registry
+//	/healthz — {"status":"ok"|"degraded"}; 503 when degraded
+//	/state   — full fleet state JSON
+//	/spans   — aggregate span-phase table (plain text)
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = d.opts.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		healthy := d.Healthy()
+		status := "ok"
+		code := http.StatusOK
+		if !healthy {
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":  status,
+			"healthy": healthy,
+		})
+	})
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(d.State())
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = d.tracer.WritePhaseSummary(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("obsd: simulated HBM2 fleet health daemon\n" +
+			"endpoints: /metrics /healthz /state /spans\n"))
+	})
+	return mux
+}

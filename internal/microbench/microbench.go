@@ -21,6 +21,22 @@ import (
 	"hbm2ecc/internal/beam"
 	"hbm2ecc/internal/dram"
 	"hbm2ecc/internal/hbm2"
+	"hbm2ecc/internal/obs"
+)
+
+// Process-wide microbenchmark telemetry. Counters are cheap atomics;
+// spans are recorded only when Config.Span is set (wired by the campaign
+// drivers), so the unit-test hot path pays two atomic adds per run.
+var (
+	mRuns = obs.NewCounter("microbench_runs_total",
+		"Microbenchmark runs executed.", "pattern")
+	mDiscardedRuns = obs.NewCounter("microbench_runs_discarded_total",
+		"Runs discarded by the host-side duplicated-execution checks.").With()
+	mRecords = obs.NewCounter("microbench_mismatch_records_total",
+		"Mismatch records logged.", "pattern")
+	mRecordsPerRun = obs.NewHistogram("microbench_records_per_run",
+		"Distribution of mismatch records per run.",
+		obs.ExpBuckets(1, 2, 14)).With()
 )
 
 // PatternKind selects the written data pattern.
@@ -122,6 +138,10 @@ type Config struct {
 	// a negative value disables discards entirely (controlled
 	// experiments where every run must count).
 	DiscardProb float64
+	// Span, when non-nil, is the parent tracing span: the run emits
+	// write_pass / read_scan / evaluate child spans under it. Purely
+	// observational — it never touches the simulation RNG or results.
+	Span *obs.Span
 }
 
 func (c *Config) defaults() {
@@ -161,6 +181,7 @@ func Run(cfg Config) *Log {
 		pat := func(idx int64) [hbm2.EntryBytes]byte {
 			return PatternData(cfg.Pattern, idx, inverse)
 		}
+		writeSpan := cfg.Span.Child("write_pass")
 		dev.WriteAll(pat, t)
 		writeEnd := t + cfg.PassDuration
 		// candidates maps entry -> earliest read pass that could observe
@@ -176,7 +197,9 @@ func Run(cfg Config) *Log {
 			}
 		}
 		t = writeEnd
+		writeSpan.Finish()
 
+		readSpan := cfg.Span.Child("read_scan")
 		readStart := t
 		for r := 0; r < cfg.ReadsPerWrite; r++ {
 			passStart := readStart + float64(r)*cfg.PassDuration
@@ -219,8 +242,10 @@ func Run(cfg Config) *Log {
 			}
 			return true
 		})
+		readSpan.Finish()
 
 		// Evaluate candidates against device state at their read times.
+		evalSpan := cfg.Span.Child("evaluate")
 		for entry, firstRead := range candidates {
 			expected := dev.Expected(entry)
 			for r := firstRead; r < cfg.ReadsPerWrite; r++ {
@@ -238,6 +263,7 @@ func Run(cfg Config) *Log {
 				}
 			}
 		}
+		evalSpan.Finish()
 		t = readStart + float64(cfg.ReadsPerWrite)*cfg.PassDuration
 	}
 	log.EndTime = t
@@ -245,6 +271,13 @@ func Run(cfg Config) *Log {
 		log.Discarded = true
 	}
 	sortRecords(log.Records)
+
+	mRuns.With(cfg.Pattern.String()).Inc()
+	if log.Discarded {
+		mDiscardedRuns.Inc()
+	}
+	mRecords.With(cfg.Pattern.String()).Add(uint64(len(log.Records)))
+	mRecordsPerRun.Observe(float64(len(log.Records)))
 	return log
 }
 

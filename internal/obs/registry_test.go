@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge and one histogram
+// from many goroutines; run under -race this doubles as the data-race
+// check for the whole registry hot path.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test counter", "who").With("w")
+	g := r.Gauge("g", "test gauge").With()
+	h := r.Histogram("h_seconds", "test histogram", []float64{0.5, 1, 2}).With()
+
+	const workers = 16
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.6) // 0, 0.6, 1.2, 1.8
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	wantSum := float64(workers) * perWorker / 4 * (0 + 0.6 + 1.2 + 1.8)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestConcurrentSeriesCreation races label-series creation: every
+// goroutine resolves the same and distinct series while others update.
+func TestConcurrentSeriesCreation(t *testing.T) {
+	r := NewRegistry()
+	cv := r.Counter("v_total", "vec", "a", "b")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				cv.With("shared", "x").Inc()
+				cv.With("own", string(rune('a'+w))).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := cv.With("shared", "x").Value(); got != 8*1000 {
+		t.Errorf("shared series = %d, want %d", got, 8000)
+	}
+	for w := 0; w < 8; w++ {
+		if got := cv.With("own", string(rune('a'+w))).Value(); got != 1000 {
+			t.Errorf("own series %d = %d, want 1000", w, got)
+		}
+	}
+}
+
+func TestReRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "first", "l").With("v").Add(3)
+	// Same name/type/labels: same family, value preserved.
+	if got := r.Counter("x_total", "first", "l").With("v").Value(); got != 3 {
+		t.Errorf("re-registered counter = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("re-registering with different type did not panic")
+		}
+	}()
+	r.Gauge("x_total", "conflicting")
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "buckets", []float64{1, 2}).With()
+	h.Observe(1)   // le="1" (boundary is inclusive)
+	h.Observe(1.5) // le="2"
+	h.Observe(5)   // +Inf
+	snap := r.Snapshot()
+	hs := snap.Families[0].Series[0].Histogram
+	want := []uint64{1, 1, 1}
+	for i, w := range want {
+		if hs.Buckets[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d (all: %v)", i, hs.Buckets[i], w, hs.Buckets)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-PR gate: vet, build, and race-test the whole module.
+# Run from anywhere; operates on the repo that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "OK: all checks passed"
