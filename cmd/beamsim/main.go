@@ -1,14 +1,22 @@
 // Command beamsim runs simulated neutron-beam experiments on the modeled
 // GPU: the displacement-damage studies (Fig. 3) or a full soft-error
 // pattern campaign whose mismatch log feeds cmd/classify.
+//
+// Campaigns are interruptible: with -checkpoint, progress is snapshotted
+// atomically after every run, SIGINT/SIGTERM stops the campaign cleanly
+// (exit 0) after writing a final checkpoint, and -resume continues from
+// the snapshot — producing statistics identical to an uninterrupted run.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hbm2ecc/internal/classify"
@@ -27,9 +35,16 @@ func main() {
 	rawLogs := flag.String("logs", "", "write the raw mismatch logs (JSONL) to this file for cmd/classify -in")
 	progress := flag.Int("progress", 0,
 		"campaign mode: print a one-line status every N runs (0 = silent)")
+	checkpoint := flag.String("checkpoint", "",
+		"campaign mode: snapshot progress to this file after every run (atomic write)")
+	resume := flag.String("resume", "",
+		"campaign mode: resume from this checkpoint file (same -seed/-runs required)")
 	metrics := flag.String("metrics", "",
 		"on exit, print per-phase span durations and dump all metrics in Prometheus text format to this file (\"-\" = stdout)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch *exp {
 	case "refresh":
@@ -41,7 +56,7 @@ func main() {
 	case "utilization":
 		utilizationExperiment(*seed)
 	case "campaign":
-		campaignExperiment(*seed, *runs, *out, *rawLogs, *progress)
+		campaignExperiment(ctx, *seed, *runs, *out, *rawLogs, *progress, *checkpoint, *resume)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -147,9 +162,30 @@ func utilizationExperiment(seed int64) {
 	fmt.Println(t)
 }
 
-func campaignExperiment(seed int64, runs int, out, rawLogs string, progress int) {
+func campaignExperiment(ctx context.Context, seed int64, runs int, out, rawLogs string, progress int, ckptPath, resumePath string) {
+	cfg := experiments.CampaignConfig{Seed: seed, Runs: runs, Ctx: ctx}
+	if resumePath != "" {
+		ckpt, err := experiments.LoadCampaignCheckpoint(resumePath)
+		if err != nil {
+			log.Fatalf("loading checkpoint: %v", err)
+		}
+		cfg.Checkpoint = ckpt
+		if ckptPath == "" {
+			ckptPath = resumePath
+		}
+		fmt.Printf("Resuming campaign from %s: %d/%d runs complete.\n",
+			resumePath, ckpt.Completed, ckpt.Runs)
+	}
+	var latest *experiments.CampaignCheckpoint
+	if ckptPath != "" {
+		cfg.OnCheckpoint = func(c *experiments.CampaignCheckpoint) {
+			latest = c
+			if err := c.Save(ckptPath); err != nil {
+				log.Fatalf("writing checkpoint: %v", err)
+			}
+		}
+	}
 	fmt.Printf("Running %d microbenchmark runs in the beam...\n", runs)
-	cfg := experiments.CampaignConfig{Seed: seed, Runs: runs}
 	if progress > 0 {
 		start := time.Now()
 		records := 0
@@ -161,7 +197,26 @@ func campaignExperiment(seed int64, runs int, out, rawLogs string, progress int)
 			}
 		}
 	}
-	logs := experiments.CampaignLogs(cfg)
+	logs, err := experiments.CampaignRun(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ctx.Err() != nil && len(logs) < runs {
+		// Interrupted: the last per-run snapshot is already the final
+		// checkpoint; write it once more so a missing/partial file can't
+		// slip through, then exit cleanly.
+		if ckptPath != "" && latest != nil {
+			if err := latest.Save(ckptPath); err != nil {
+				log.Fatalf("writing final checkpoint: %v", err)
+			}
+			fmt.Printf("interrupted after %d/%d runs; resume with -resume %s\n",
+				len(logs), runs, ckptPath)
+		} else {
+			fmt.Printf("interrupted after %d/%d runs (no -checkpoint path; progress not saved)\n",
+				len(logs), runs)
+		}
+		return
+	}
 	if rawLogs != "" {
 		if err := microbench.WriteLogs(rawLogs, logs); err != nil {
 			log.Fatal(err)

@@ -10,15 +10,25 @@
 //	/spans   — aggregate health-check phase timings
 //
 // Run `obsd -once` for a single sweep printed to stdout (no server).
+// With -chaos, every device additionally runs under a seeded chaos fault
+// plan and the resilient scrub path (retry + weak-row retirement), whose
+// counters surface in /metrics as resilience_* families.
+//
+// obsd shuts down gracefully: SIGINT/SIGTERM stops the check loop, drains
+// in-flight health checks, and then shuts the HTTP server down.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hbm2ecc/internal/healthd"
@@ -33,18 +43,23 @@ func main() {
 	runs := flag.Int("runs", 1, "microbenchmark runs per device per check")
 	mtte := flag.Float64("mtte", 5, "per-device mean time to soft-error event, seconds")
 	once := flag.Bool("once", false, "run one sweep, print state and metrics, exit")
+	chaosOn := flag.Bool("chaos", false, "attach a seeded chaos fault plan and the resilient scrub path to every device")
+	checkTimeout := flag.Duration("check-timeout", 30*time.Second, "per-device health-check watchdog timeout")
 	flag.Parse()
 
 	d := healthd.New(healthd.Options{
-		Devices:   *devices,
-		Seed:      *seed,
-		CheckRuns: *runs,
-		MTTE:      *mtte,
-		Registry:  obs.Default,
+		Devices:      *devices,
+		Seed:         *seed,
+		CheckRuns:    *runs,
+		MTTE:         *mtte,
+		Chaos:        *chaosOn,
+		CheckTimeout: *checkTimeout,
+		Registry:     obs.Default,
 	})
 
 	if *once {
 		d.CheckOnce()
+		d.Drain()
 		fmt.Println("== fleet state ==")
 		b, err := json.MarshalIndent(d.State(), "", "  ")
 		if err != nil {
@@ -62,8 +77,39 @@ func main() {
 		return
 	}
 
-	stop := make(chan struct{})
-	go d.Run(*interval, stop)
-	log.Printf("obsd: %d simulated devices, checking every %s, serving on %s", *devices, *interval, *addr)
-	log.Fatal(http.ListenAndServe(*addr, d.Handler()))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		d.Run(ctx, *interval)
+	}()
+	go func() {
+		log.Printf("obsd: %d simulated devices, checking every %s, serving on %s (chaos=%v)",
+			*devices, *interval, *addr, *chaosOn)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Print("obsd: signal received, draining in-flight checks")
+	<-loopDone // Run drains in-flight checks before returning
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("obsd: server shutdown: %v", err)
+	}
+	log.Print("obsd: shut down cleanly")
 }

@@ -4,10 +4,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hbm2ecc/internal/core"
@@ -29,12 +32,22 @@ func main() {
 		"on exit, print per-phase span durations and dump all metrics in Prometheus text format to this file (\"-\" = stdout)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancels the long-running stages; repro has no
+	// checkpoint (it is a verification driver), so it simply stops early
+	// and exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	sum := textplot.NewTable("experiment", "quantity", "paper", "measured")
 
 	// ---- Characterization (Figs. 3-5, Table 1) ----
 	fmt.Println("== beam campaign ==")
-	an := experiments.Campaign(experiments.CampaignConfig{Seed: *seed, Runs: *runs})
+	an := experiments.Campaign(experiments.CampaignConfig{Seed: *seed, Runs: *runs, Ctx: ctx})
+	if ctx.Err() != nil {
+		fmt.Println("repro: interrupted during the beam campaign; exiting")
+		return
+	}
 	fmt.Printf("%d events, %d damaged entries filtered, %d/%d runs discarded (%.2f%%; paper 0.60%%)\n",
 		len(an.Events), len(an.DamagedEntries), an.DiscardedRuns, an.TotalRuns,
 		100*float64(an.DiscardedRuns)/float64(an.TotalRuns))
@@ -85,7 +98,7 @@ func main() {
 	// ---- ECC evaluation (Table 2, Fig. 8) ----
 	fmt.Println("== ECC evaluation ==")
 	opts := evalmc.Options{Seed: *seed, Samples3b: *samples, SamplesBeat: *samples,
-		SamplesEntry: *samples, Parallel: true}
+		SamplesEntry: *samples, Parallel: true, Ctx: ctx}
 	schemes := []core.Scheme{
 		core.NewSECDED(false, false), core.NewDuetECC(), core.NewTrioECC(),
 		core.NewSEC2bEC(false, false), core.NewSSC(true), core.NewSSCDSDPlus(),
@@ -95,7 +108,11 @@ func main() {
 			schemes[i] = core.Instrumented(s)
 		}
 	}
-	res := evalmc.EvaluateAll(schemes, opts)
+	res, err := evalmc.EvaluateAllCtx(schemes, opts)
+	if err != nil {
+		fmt.Println("repro: interrupted during the ECC evaluation; exiting")
+		return
+	}
 	base := res[0].Weighted()
 	duet := res[1].Weighted()
 	trio := res[2].Weighted()

@@ -9,6 +9,7 @@
 package beam
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -96,11 +97,19 @@ type Beam struct {
 	Device   *dram.Device
 
 	rng         *rand.Rand
+	ctx         context.Context
 	fluence     float64
 	timeInBeam  float64
 	timeOutside float64
 	weakCreated int
 }
+
+// SetContext attaches a cancellation context: once it is done, Expose
+// becomes a no-op (no RNG consumption, no injection). Runs cut short this
+// way are marked Cancelled by the microbenchmark and discarded from
+// campaign statistics, so the truncated RNG stream never leaks into
+// results — resume replays the completed prefix against a fresh beam.
+func (b *Beam) SetContext(ctx context.Context) { b.ctx = ctx }
 
 // Config bundles beam construction parameters.
 type Config struct {
@@ -167,6 +176,9 @@ func (b *Beam) WeakCellsCreated() int { return b.weakCreated }
 func (b *Beam) Expose(t0, t1, utilization float64) []TimedEvent {
 	dt := t1 - t0
 	if dt <= 0 {
+		return nil
+	}
+	if b.ctx != nil && b.ctx.Err() != nil {
 		return nil
 	}
 	b.timeInBeam += dt

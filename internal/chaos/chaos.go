@@ -1,0 +1,360 @@
+// Package chaos is a deterministic fault-injection harness for the
+// simulated GPU: a seeded FaultPlan compiles into a time-sorted list of
+// device-level faults — transient read flips, stuck-at rows, dead banks,
+// weak-cell storms, and latency stalls — and a Harness replays the plan
+// against a gpusim.GPU, recording an applied-fault trace. The same seed
+// and plan always produce the same trace against the same read sequence,
+// so every chaos run is replayable bit-for-bit. This is the adversary
+// the resilience layer (retirement, retries, degraded mode) is tested
+// against, mirroring how fleets burn-in GPUs before beam campaigns.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/gpusim"
+	"hbm2ecc/internal/hbm2"
+	"hbm2ecc/internal/obs"
+)
+
+// Process-wide chaos telemetry.
+var mInjected = obs.NewCounter("chaos_faults_injected_total",
+	"Chaos faults activated against simulated devices, by kind.", "kind")
+
+// Kind enumerates the fault classes.
+type Kind int
+
+const (
+	// TransientRead arms a one-shot multi-bit flip that hits the next
+	// read after its activation time and clears on retry.
+	TransientRead Kind = iota
+	// StuckRow sticks a set of wire bits across one DRAM row until the
+	// plan horizon (persistent; only row retirement escapes it).
+	StuckRow
+	// DeadBank makes a whole bank return junk on every read.
+	DeadBank
+	// WeakStorm adds a burst of short-retention weak cells concentrated
+	// on a few rows (displacement-damage burst, §4).
+	WeakStorm
+	// LatencyStall arms a one-shot access stall paid by the next read.
+	LatencyStall
+	NumKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case TransientRead:
+		return "transient_read"
+	case StuckRow:
+		return "stuck_row"
+	case DeadBank:
+		return "dead_bank"
+	case WeakStorm:
+		return "weak_storm"
+	case LatencyStall:
+		return "latency_stall"
+	default:
+		return "Kind(?)"
+	}
+}
+
+// Fault is one planned fault.
+type Fault struct {
+	Kind Kind    `json:"kind"`
+	Time float64 `json:"time"` // activation sim-time (seconds)
+
+	// Entry anchors row- and cell-level faults (StuckRow, WeakStorm).
+	Entry int64 `json:"entry,omitempty"`
+	// Bits are the wire bits affected (TransientRead flips them once;
+	// StuckRow sticks them on every entry of the row).
+	Bits []int `json:"bits,omitempty"`
+	// StuckTo is the value StuckRow bits read as (0 or 1).
+	StuckTo uint `json:"stuck_to,omitempty"`
+	// Cells is the number of weak cells a WeakStorm creates.
+	Cells int `json:"cells,omitempty"`
+	// Rows is the number of rows a WeakStorm spreads over.
+	Rows int `json:"rows,omitempty"`
+	// Duration is the stall paid by the read hit by a LatencyStall.
+	Duration float64 `json:"duration,omitempty"`
+}
+
+// Plan is a replayable fault schedule: the faults, time-sorted, plus the
+// seed that parameterizes harness-side draws (weak-cell retention).
+type Plan struct {
+	Seed    int64   `json:"seed"`
+	Horizon float64 `json:"horizon"`
+	Faults  []Fault `json:"faults"`
+}
+
+// Options sets how many faults of each class NewPlan schedules across
+// the horizon. The zero value selects a moderate default storm.
+type Options struct {
+	Horizon        float64 // seconds (default 60)
+	TransientReads int     // default 20
+	// TransientBits is the number of bits flipped per transient fault,
+	// all inside one 72-bit beat (default 2 — enough that an
+	// interleaved SEC-DED decode reports detected-uncorrectable and the
+	// resilient read path must retry).
+	TransientBits int
+	StuckRows     int     // default 2
+	DeadBanks     int     // default 0 (unsurvivable without remap; opt-in)
+	WeakStorms    int     // default 1
+	StormCells    int     // weak cells per storm (default 200)
+	StormRows     int     // rows per storm (default 4)
+	Stalls        int     // default 5
+	StallSeconds  float64 // default 0.005
+}
+
+func (o *Options) defaults() {
+	if o.Horizon <= 0 {
+		o.Horizon = 60
+	}
+	if o.TransientReads == 0 {
+		o.TransientReads = 20
+	}
+	if o.TransientBits <= 0 {
+		o.TransientBits = 2
+	}
+	if o.StuckRows == 0 {
+		o.StuckRows = 2
+	}
+	if o.WeakStorms == 0 {
+		o.WeakStorms = 1
+	}
+	if o.StormCells <= 0 {
+		o.StormCells = 200
+	}
+	if o.StormRows <= 0 {
+		o.StormRows = 4
+	}
+	if o.Stalls == 0 {
+		o.Stalls = 5
+	}
+	if o.StallSeconds <= 0 {
+		o.StallSeconds = 0.005
+	}
+}
+
+// NewPlan compiles a deterministic fault plan: the same cfg, seed, and
+// options always yield an identical plan.
+func NewPlan(cfg hbm2.Config, seed int64, opts Options) Plan {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Seed: seed, Horizon: opts.Horizon}
+	at := func() float64 { return rng.Float64() * opts.Horizon }
+	entry := func() int64 { return rng.Int63n(cfg.Entries()) }
+
+	for i := 0; i < opts.TransientReads; i++ {
+		// All flips inside one beat so interleaved codes see a genuine
+		// multi-bit error instead of n correctable singles.
+		beat := rng.Intn(4)
+		bits := make([]int, 0, opts.TransientBits)
+		seen := map[int]bool{}
+		for len(bits) < opts.TransientBits {
+			b := beat*72 + rng.Intn(72)
+			if !seen[b] {
+				seen[b] = true
+				bits = append(bits, b)
+			}
+		}
+		sort.Ints(bits)
+		p.Faults = append(p.Faults, Fault{Kind: TransientRead, Time: at(), Bits: bits})
+	}
+	for i := 0; i < opts.StuckRows; i++ {
+		// Stick a handful of data bits across the whole row.
+		n := 1 + rng.Intn(3)
+		bits := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			bits = append(bits, rng.Intn(256))
+		}
+		sort.Ints(bits)
+		p.Faults = append(p.Faults, Fault{
+			Kind: StuckRow, Time: at(), Entry: entry(),
+			Bits: bits, StuckTo: uint(rng.Intn(2)),
+		})
+	}
+	for i := 0; i < opts.DeadBanks; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: DeadBank, Time: at(), Entry: entry()})
+	}
+	for i := 0; i < opts.WeakStorms; i++ {
+		p.Faults = append(p.Faults, Fault{
+			Kind: WeakStorm, Time: at(), Entry: entry(),
+			Cells: opts.StormCells, Rows: opts.StormRows,
+		})
+	}
+	for i := 0; i < opts.Stalls; i++ {
+		p.Faults = append(p.Faults, Fault{Kind: LatencyStall, Time: at(), Duration: opts.StallSeconds})
+	}
+	sort.SliceStable(p.Faults, func(i, j int) bool { return p.Faults[i].Time < p.Faults[j].Time })
+	return p
+}
+
+// Applied is one trace entry: a fault activation or a one-shot hit.
+type Applied struct {
+	Time   float64 `json:"time"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail"`
+}
+
+// Harness replays a Plan against a device. It implements
+// gpusim.FaultInjector; attach it with gpu.AttachInjector (or use
+// Attach). Not safe for concurrent use — the simulation is
+// single-threaded by design.
+type Harness struct {
+	cfg  hbm2.Config
+	dev  *dram.Device
+	plan Plan
+	rng  *rand.Rand
+
+	next      int // first plan fault not yet activated
+	stuckRows map[int64]stuckRow
+	deadBanks map[int64]bool
+	transient []Fault // armed one-shot flips, FIFO
+	stalls    []Fault // armed one-shot stalls, FIFO
+
+	trace []Applied
+}
+
+type stuckRow struct {
+	mask, val bitvec.V288
+}
+
+// NewHarness builds a harness over the device the plan will torment.
+func NewHarness(dev *dram.Device, plan Plan) *Harness {
+	return &Harness{
+		cfg:       dev.Cfg,
+		dev:       dev,
+		plan:      plan,
+		rng:       rand.New(rand.NewSource(plan.Seed ^ 0x5eed)),
+		stuckRows: map[int64]stuckRow{},
+		deadBanks: map[int64]bool{},
+	}
+}
+
+// Attach builds a harness for the GPU's device and installs it as the
+// GPU's fault injector.
+func Attach(g *gpusim.GPU, plan Plan) *Harness {
+	h := NewHarness(g.Dev, plan)
+	g.AttachInjector(h)
+	return h
+}
+
+// Trace returns the applied-fault trace so far. Two harnesses with the
+// same plan, device seed, and read sequence produce identical traces.
+func (h *Harness) Trace() []Applied { return h.trace }
+
+// Advance activates every plan fault scheduled at or before t. Reads
+// call it implicitly via BeforeRead; device-level drivers that never
+// read through the GPU (e.g. a health daemon running raw scans) call it
+// directly to deliver weak storms on time.
+func (h *Harness) Advance(t float64) {
+	for h.next < len(h.plan.Faults) && h.plan.Faults[h.next].Time <= t {
+		f := h.plan.Faults[h.next]
+		h.next++
+		h.activate(f)
+	}
+}
+
+func (h *Harness) activate(f Fault) {
+	mInjected.With(f.Kind.String()).Inc()
+	switch f.Kind {
+	case TransientRead:
+		h.transient = append(h.transient, f)
+		h.record(f.Time, f.Kind, fmt.Sprintf("armed %d-bit flip %v", len(f.Bits), f.Bits))
+	case StuckRow:
+		row := h.cfg.RowKey(f.Entry)
+		sr := h.stuckRows[row]
+		for _, b := range f.Bits {
+			sr.mask = sr.mask.SetBit(b, 1)
+			sr.val = sr.val.SetBit(b, f.StuckTo)
+		}
+		h.stuckRows[row] = sr
+		h.record(f.Time, f.Kind, fmt.Sprintf("row %d bits %v stuck at %d", row, f.Bits, f.StuckTo))
+	case DeadBank:
+		bank := h.cfg.BankKey(f.Entry)
+		h.deadBanks[bank] = true
+		h.record(f.Time, f.Kind, fmt.Sprintf("bank %d dead", bank))
+	case WeakStorm:
+		h.weakStorm(f)
+	case LatencyStall:
+		h.stalls = append(h.stalls, f)
+		h.record(f.Time, f.Kind, fmt.Sprintf("armed %.1fms stall", f.Duration*1000))
+	}
+}
+
+// weakStorm concentrates f.Cells short-retention weak cells on f.Rows
+// consecutive-column entries anchored at f.Entry's row — a burst of
+// displacement damage dense enough to trip the retirement threshold.
+func (h *Harness) weakStorm(f Fault) {
+	rows := f.Rows
+	if rows <= 0 {
+		rows = 1
+	}
+	co := h.cfg.CoordOf(f.Entry)
+	added := 0
+	for i := 0; i < f.Cells; i++ {
+		rc := co
+		rc.Row = (co.Row + i%rows) % hbm2.RowsPerSubarray
+		rc.Column = (i / rows) % hbm2.ColumnsPerRow
+		idx := h.cfg.EntryIndex(rc)
+		// Data-mat bit through the standard byte layout; retention well
+		// below the refresh period so the cell is always exposed.
+		k := h.rng.Intn(256)
+		bit := (k/64)*72 + k%64
+		ret := 0.0005 + 0.01*h.rng.Float64()
+		h.dev.AddWeakCell(idx, dram.WeakCell{Bit: bit, Retention: ret, LeakTo: 0})
+		added++
+	}
+	h.record(f.Time, f.Kind, fmt.Sprintf("%d weak cells over %d rows near row %d", added, rows, h.cfg.RowKey(f.Entry)))
+}
+
+func (h *Harness) record(t float64, k Kind, detail string) {
+	h.trace = append(h.trace, Applied{Time: t, Kind: k.String(), Detail: detail})
+}
+
+// BeforeRead implements gpusim.FaultInjector: it activates due faults,
+// then perturbs the read. Armed one-shot faults (transient flips,
+// stalls) hit the next first-attempt read and are consumed; stuck rows
+// and dead banks overlay every read of their blast radius. Retries
+// (attempt > 0) see only persistent faults, so transients clear.
+func (h *Harness) BeforeRead(idx int64, t float64, attempt int) gpusim.ReadFault {
+	h.Advance(t)
+	var f gpusim.ReadFault
+	if attempt == 0 {
+		if len(h.transient) > 0 {
+			tf := h.transient[0]
+			h.transient = h.transient[1:]
+			for _, b := range tf.Bits {
+				f.Xor = f.Xor.SetBit(b, 1)
+			}
+			h.record(t, TransientRead, fmt.Sprintf("hit entry %d with %d-bit flip", idx, len(tf.Bits)))
+		}
+		if len(h.stalls) > 0 {
+			sf := h.stalls[0]
+			h.stalls = h.stalls[1:]
+			f.Stall = sf.Duration
+			h.record(t, LatencyStall, fmt.Sprintf("entry %d stalled %.1fms", idx, sf.Duration*1000))
+		}
+	}
+	if sr, ok := h.stuckRows[h.cfg.RowKey(idx)]; ok {
+		f.StuckMask = sr.mask
+		f.StuckVal = sr.val
+	}
+	if h.deadBanks[h.cfg.BankKey(idx)] {
+		f.Dead = true
+	}
+	return f
+}
+
+// StuckRowCount returns the number of rows with active stuck-at faults.
+func (h *Harness) StuckRowCount() int { return len(h.stuckRows) }
+
+// DeadBankCount returns the number of dead banks.
+func (h *Harness) DeadBankCount() int { return len(h.deadBanks) }
+
+// PendingFaults returns how many plan faults have not yet activated.
+func (h *Harness) PendingFaults() int { return len(h.plan.Faults) - h.next }

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/gpusim"
+	"hbm2ecc/internal/hbm2"
+)
+
+func TestChaosPlanDeterministic(t *testing.T) {
+	cfg := hbm2.V100()
+	a := NewPlan(cfg, 42, Options{})
+	b := NewPlan(cfg, 42, Options{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := NewPlan(cfg, 43, Options{})
+	if reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	// Faults are time-sorted inside the horizon.
+	last := 0.0
+	for _, f := range a.Faults {
+		if f.Time < last || f.Time > a.Horizon {
+			t.Fatalf("fault at %g out of order or past horizon", f.Time)
+		}
+		last = f.Time
+	}
+}
+
+// allFF writes 0xFF everywhere so 1->0 weak cells are exposed.
+func allFF(int64) [hbm2.EntryBytes]byte {
+	var d [hbm2.EntryBytes]byte
+	for i := range d {
+		d[i] = 0xFF
+	}
+	return d
+}
+
+// runSequence replays a fixed read sequence against a fresh GPU+harness
+// and returns the trace plus read statuses.
+func runSequence(t *testing.T, seed int64) ([]Applied, []gpusim.ReadResult) {
+	t.Helper()
+	g := gpusim.New(hbm2.V100(), core.NewSECDED(false, false))
+	g.EnableResilience(gpusim.ResilienceOptions{Seed: seed})
+	plan := NewPlan(g.Dev.Cfg, seed, Options{
+		Horizon: 10, TransientReads: 4, StuckRows: 1, WeakStorms: 1,
+		StormCells: 64, StormRows: 2, Stalls: 2,
+	})
+	h := Attach(g, plan)
+	g.WritePattern(allFF)
+	var results []gpusim.ReadResult
+	for step := 0; step < 40; step++ {
+		g.Advance(0.3)
+		results = append(results, g.Read(int64(step)*977))
+	}
+	return h.Trace(), results
+}
+
+func TestChaosTraceDeterministic(t *testing.T) {
+	tr1, res1 := runSequence(t, 2021)
+	tr2, res2 := runSequence(t, 2021)
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatalf("same seed + plan produced different traces:\n%v\nvs\n%v", tr1, tr2)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatal("same seed + plan produced different read results")
+	}
+	if len(tr1) == 0 {
+		t.Fatal("empty trace: no faults activated")
+	}
+}
+
+func TestChaosWeakStormAddsCells(t *testing.T) {
+	cfg := hbm2.V100()
+	dev := dram.New(cfg, dram.DefaultRefreshPeriod)
+	plan := Plan{Seed: 7, Horizon: 1, Faults: []Fault{
+		{Kind: WeakStorm, Time: 0.5, Entry: 1 << 20, Cells: 120, Rows: 3},
+	}}
+	h := NewHarness(dev, plan)
+	h.Advance(0.4)
+	if dev.WeakCellCount() != 0 {
+		t.Fatal("storm fired early")
+	}
+	h.Advance(0.6)
+	if dev.WeakCellCount() != 120 {
+		t.Fatalf("weak cells = %d, want 120", dev.WeakCellCount())
+	}
+	// All cells exposed at the default refresh period.
+	if got := dev.ExposedWeakCellCount(dram.DefaultRefreshPeriod); got != 120 {
+		t.Fatalf("exposed = %d, want 120", got)
+	}
+	// Spread over exactly 3 rows.
+	rows := map[int64]bool{}
+	dev.RangeWeakCells(func(entry int64, _ dram.WeakCell) bool {
+		rows[cfg.RowKey(entry)] = true
+		return true
+	})
+	if len(rows) != 3 {
+		t.Fatalf("storm rows = %d, want 3", len(rows))
+	}
+}
+
+func TestChaosStuckRowOverlay(t *testing.T) {
+	cfg := hbm2.V100()
+	dev := dram.New(cfg, dram.DefaultRefreshPeriod)
+	anchor := int64(5000)
+	plan := Plan{Seed: 1, Horizon: 1, Faults: []Fault{
+		{Kind: StuckRow, Time: 0, Entry: anchor, Bits: []int{3, 80}, StuckTo: 1},
+	}}
+	h := NewHarness(dev, plan)
+	// Any entry in the same row is perturbed; other rows are clean.
+	f := h.BeforeRead(cfg.RowEntries(anchor)[0], 0.1, 0)
+	if f.StuckMask.IsZero() || f.StuckMask.Bit(3) != 1 || f.StuckVal.Bit(3) != 1 {
+		t.Fatalf("stuck overlay missing on same row: %+v", f)
+	}
+	other := h.BeforeRead(anchor+1<<30, 0.1, 0)
+	if !other.StuckMask.IsZero() {
+		t.Fatal("stuck overlay leaked to another row")
+	}
+}
+
+func TestChaosDeadBankAndStallConsumption(t *testing.T) {
+	cfg := hbm2.V100()
+	dev := dram.New(cfg, dram.DefaultRefreshPeriod)
+	anchor := int64(12345)
+	plan := Plan{Seed: 1, Horizon: 1, Faults: []Fault{
+		{Kind: DeadBank, Time: 0, Entry: anchor},
+		{Kind: LatencyStall, Time: 0, Duration: 0.004},
+	}}
+	h := NewHarness(dev, plan)
+	f := h.BeforeRead(anchor, 0.1, 0)
+	if !f.Dead {
+		t.Fatal("dead bank not reported")
+	}
+	if f.Stall != 0.004 {
+		t.Fatalf("stall = %g, want 0.004", f.Stall)
+	}
+	// The stall is one-shot; the dead bank persists.
+	f2 := h.BeforeRead(anchor, 0.2, 0)
+	if f2.Stall != 0 || !f2.Dead {
+		t.Fatalf("second read: stall=%g dead=%v", f2.Stall, f2.Dead)
+	}
+	// A retry (attempt > 0) still sees the dead bank but no new one-shots.
+	f3 := h.BeforeRead(anchor, 0.3, 1)
+	if !f3.Dead || f3.Stall != 0 {
+		t.Fatalf("retry view wrong: %+v", f3)
+	}
+}
+
+func TestChaosTransientClearsOnRetry(t *testing.T) {
+	cfg := hbm2.V100()
+	dev := dram.New(cfg, dram.DefaultRefreshPeriod)
+	plan := Plan{Seed: 1, Horizon: 1, Faults: []Fault{
+		{Kind: TransientRead, Time: 0, Bits: []int{10, 11}},
+	}}
+	h := NewHarness(dev, plan)
+	first := h.BeforeRead(7, 0.1, 0)
+	if first.Xor.IsZero() {
+		t.Fatal("armed transient did not fire")
+	}
+	retry := h.BeforeRead(7, 0.1, 1)
+	if !retry.Xor.IsZero() {
+		t.Fatal("transient fault survived a retry")
+	}
+	next := h.BeforeRead(8, 0.2, 0)
+	if !next.Xor.IsZero() {
+		t.Fatal("one-shot transient fired twice")
+	}
+}

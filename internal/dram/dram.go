@@ -183,6 +183,23 @@ func (d *Device) ReadEntry(idx int64, t float64) [hbm2.EntryBytes]byte {
 	return data
 }
 
+// RetireEntries models a row swap to a pristine spare row: all recorded
+// damage (weak cells and soft-error corruption) on the given entries is
+// removed, because the physical cells holding them are no longer mapped.
+// It returns the number of weak cells repaired out of the address space.
+func (d *Device) RetireEntries(entries []int64) int {
+	repaired := 0
+	for _, idx := range entries {
+		if cells, ok := d.weak[idx]; ok {
+			repaired += len(cells)
+			d.weakCount -= len(cells)
+			delete(d.weak, idx)
+		}
+		delete(d.corrupt, idx)
+	}
+	return repaired
+}
+
 // Expected returns the fault-free payload the pattern wrote.
 func (d *Device) Expected(idx int64) [hbm2.EntryBytes]byte { return d.pattern(idx) }
 

@@ -14,6 +14,7 @@
 package evalmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,6 +44,9 @@ var (
 	mConvergence = obs.NewGauge("evalmc_sdc_ci_halfwidth",
 		"Half-width of the 95% Wilson interval of the SDC fraction (convergence).",
 		"scheme", "pattern")
+	mResumedCells = obs.NewCounter("evalmc_resumed_cells_total",
+		"(scheme, pattern) cells satisfied from a checkpoint instead of "+
+			"re-evaluated.").With()
 )
 
 // Options configures an evaluation run.
@@ -59,6 +63,21 @@ type Options struct {
 	// Parallel enables evaluation across GOMAXPROCS goroutines (per
 	// pattern class; sampled classes are split into per-worker streams).
 	Parallel bool
+	// Ctx, when non-nil, makes the evaluation cancellable: EvaluateCtx
+	// stops between pattern classes and (for sampled classes) between
+	// worker batches, returning the context error. Partial pattern
+	// classes are never reported.
+	Ctx context.Context
+	// Resume, when set, is consulted before evaluating each (scheme,
+	// pattern) cell; returning ok=true skips the evaluation and reuses the
+	// cached result (see Checkpoint.Lookup). Because every cell draws from
+	// its own deterministic sampler stream, skipping completed cells
+	// changes nothing about the remaining ones.
+	Resume func(scheme string, p errormodel.Pattern) (PatternResult, bool)
+	// Progress, when set, is called after each (scheme, pattern) cell is
+	// evaluated — the checkpoint hook (see Checkpoint.Store). It is not
+	// called for cells satisfied by Resume.
+	Progress func(scheme string, p errormodel.Pattern, r PatternResult)
 }
 
 func (o *Options) defaults() {
@@ -147,18 +166,40 @@ func (sr SchemeResult) WeightedWith(weights [errormodel.NumPatterns]float64) Wei
 
 // Evaluate runs the full per-pattern evaluation of one scheme.
 func Evaluate(s core.Scheme, opts Options) SchemeResult {
+	res, _ := EvaluateCtx(s, opts)
+	return res
+}
+
+// EvaluateCtx is Evaluate with cancellation and checkpoint hooks: it
+// returns the context error if cancelled mid-evaluation, in which case
+// only the pattern classes completed so far are populated (Progress has
+// been called for each, so a checkpoint already covers them).
+func EvaluateCtx(s core.Scheme, opts Options) (SchemeResult, error) {
 	opts.defaults()
 	wire := s.Encode(opts.Data)
 	res := SchemeResult{Scheme: s.Name()}
 
 	span := obs.DefaultTracer.Start("evalmc.evaluate")
 	span.SetAttr("scheme", s.Name())
+	defer span.Finish()
 	for p := errormodel.Bit1; p < errormodel.NumPatterns; p++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return res, opts.Ctx.Err()
+		}
+		if opts.Resume != nil {
+			if r, ok := opts.Resume(s.Name(), p); ok {
+				res.PerPattern[p] = r
+				mResumedCells.Inc()
+				continue
+			}
+		}
 		ps := span.Child("pattern")
 		ps.SetAttr("pattern", p.String())
 		start := time.Now()
+		var r PatternResult
+		complete := true
 		if errormodel.EnumerableCount(p) >= 0 {
-			res.PerPattern[p] = evaluateExhaustive(s, wire, p)
+			r = evaluateExhaustive(s, wire, p)
 		} else {
 			n := opts.Samples3b
 			switch p {
@@ -167,13 +208,21 @@ func Evaluate(s core.Scheme, opts Options) SchemeResult {
 			case errormodel.Entry1:
 				n = opts.SamplesEntry
 			}
-			res.PerPattern[p] = evaluateSampled(s, wire, p, n, opts.Seed, opts.Parallel)
+			r, complete = evaluateSampled(s, wire, p, n, opts)
 		}
-		recordPattern(s.Name(), res.PerPattern[p], time.Since(start))
 		ps.Finish()
+		if !complete {
+			// Cancelled mid-class: the partial counts would bias the
+			// estimator, so they are dropped (resume redoes the class).
+			return res, opts.Ctx.Err()
+		}
+		res.PerPattern[p] = r
+		recordPattern(s.Name(), r, time.Since(start))
+		if opts.Progress != nil {
+			opts.Progress(s.Name(), p, r)
+		}
 	}
-	span.Finish()
-	return res
+	return res, nil
 }
 
 // recordPattern publishes one pattern class's results to the registry.
@@ -216,7 +265,13 @@ func evaluateExhaustive(s core.Scheme, wire bitvec.V288, p errormodel.Pattern) P
 	return r
 }
 
-func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n int, seed int64, parallel bool) PatternResult {
+// cancelCheckStride bounds how many trials a worker runs between context
+// checks; small enough for sub-second cancellation latency, large enough
+// to keep the hot loop branch-free in practice.
+const cancelCheckStride = 4096
+
+func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n int, opts Options) (PatternResult, bool) {
+	seed, parallel, ctx := opts.Seed, opts.Parallel, opts.Ctx
 	workers := 1
 	if parallel {
 		workers = runtime.GOMAXPROCS(0)
@@ -242,6 +297,9 @@ func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n in
 			smp := errormodel.NewSampler(seed + int64(w)*1_000_003 + int64(p)*7_919)
 			var c counts
 			for i := 0; i < quota; i++ {
+				if ctx != nil && i%cancelCheckStride == 0 && ctx.Err() != nil {
+					break
+				}
 				e := smp.Sample(p)
 				c.n++
 				switch classifyOutcome(s, wire, e) {
@@ -268,16 +326,29 @@ func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n in
 		r.DUE += c.due
 		r.SDC += c.sdc
 	}
-	return r
+	return r, r.N == n
 }
 
 // EvaluateAll evaluates every scheme in order.
 func EvaluateAll(schemes []core.Scheme, opts Options) []SchemeResult {
-	out := make([]SchemeResult, len(schemes))
-	for i, s := range schemes {
-		out[i] = Evaluate(s, opts)
-	}
+	out, _ := EvaluateAllCtx(schemes, opts)
 	return out
+}
+
+// EvaluateAllCtx evaluates every scheme in order with cancellation and
+// checkpoint hooks. On cancellation it returns the completed prefix (the
+// scheme cancelled mid-way is included with the classes it finished) and
+// the context error.
+func EvaluateAllCtx(schemes []core.Scheme, opts Options) ([]SchemeResult, error) {
+	out := make([]SchemeResult, 0, len(schemes))
+	for _, s := range schemes {
+		res, err := EvaluateCtx(s, opts)
+		out = append(out, res)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // Table2Row formats one scheme's SDC risk per pattern the way Table 2

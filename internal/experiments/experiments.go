@@ -6,14 +6,13 @@
 package experiments
 
 import (
-	"strconv"
+	"context"
 
 	"hbm2ecc/internal/beam"
 	"hbm2ecc/internal/classify"
 	"hbm2ecc/internal/dram"
 	"hbm2ecc/internal/hbm2"
 	"hbm2ecc/internal/microbench"
-	"hbm2ecc/internal/obs"
 	"hbm2ecc/internal/stats"
 )
 
@@ -176,6 +175,17 @@ type CampaignConfig struct {
 	// number of completed runs, the total, and the run's log (progress
 	// reporting). It must not mutate the log.
 	OnRun func(completed, total int, log *microbench.Log)
+	// Ctx, when non-nil, makes the campaign cancellable: once done, the
+	// in-flight run is discarded and CampaignRun returns the completed
+	// prefix (checkpoint it and resume later).
+	Ctx context.Context
+	// Checkpoint, when non-nil, resumes a previously interrupted campaign:
+	// completed runs are replayed (state reconstruction, no re-evaluation)
+	// and execution continues from Checkpoint.Completed.
+	Checkpoint *CampaignCheckpoint
+	// OnCheckpoint, when set, is called after every completed run with a
+	// snapshot that fully captures campaign progress.
+	OnCheckpoint func(*CampaignCheckpoint)
 }
 
 // CampaignLogs runs the beam campaign and returns the raw microbenchmark
@@ -185,42 +195,7 @@ type CampaignConfig struct {
 // touches the simulation RNG, so instrumented and bare campaigns produce
 // identical logs for the same config.
 func CampaignLogs(cfg CampaignConfig) []*microbench.Log {
-	if cfg.Runs == 0 {
-		cfg.Runs = 300
-	}
-	if cfg.MTTE == 0 {
-		cfg.MTTE = 5
-	}
-	span := obs.DefaultTracer.Start("campaign")
-	span.SetAttr("runs", strconv.Itoa(cfg.Runs))
-	setup := span.Child("device_setup")
-	dev := dram.New(hbm2.V100(), dram.DefaultRefreshPeriod)
-	b := beam.New(dev, beam.Config{
-		Seed:           cfg.Seed,
-		SEURatePerFlux: 1 / (cfg.MTTE * beam.ChipIRFlux),
-	})
-	setup.Finish()
-	var logs []*microbench.Log
-	t := 0.0
-	for run := 0; run < cfg.Runs; run++ {
-		rs := span.Child("run")
-		log := microbench.Run(microbench.Config{
-			Device:    dev,
-			Beam:      b,
-			Pattern:   microbench.PatternKind(run % int(microbench.NumPatterns)),
-			StartTime: t,
-			Seed:      cfg.Seed*1_000_003 + int64(run),
-			Span:      rs,
-		})
-		rs.SetAttr("pattern", log.Pattern.String())
-		rs.Finish()
-		t = log.EndTime
-		logs = append(logs, log)
-		if cfg.OnRun != nil {
-			cfg.OnRun(run+1, cfg.Runs, log)
-		}
-	}
-	span.Finish()
+	logs, _ := CampaignRun(cfg)
 	return logs
 }
 

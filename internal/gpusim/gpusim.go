@@ -10,6 +10,7 @@ import (
 	"hbm2ecc/internal/dram"
 	"hbm2ecc/internal/ecc"
 	"hbm2ecc/internal/hbm2"
+	"hbm2ecc/internal/resilience"
 )
 
 // GPU is a simulated GPU with HBM2 device memory.
@@ -25,15 +26,28 @@ type GPU struct {
 	Reads     int64
 	Corrected int64
 	DUEs      int64
+	// Resilience counters (zero unless EnableResilience was called or a
+	// fault injector stalls reads).
+	Retries int64
+	Stalls  int64
+
+	injector FaultInjector
+	ret      *resilience.RetirementTable
+	retry    *resilience.RetryPolicy
+	guard    *resilience.DegradeGuard
 }
 
 // New builds a GPU. With a non-nil scheme, DRAM ECC is enabled: writes
 // store scheme-encoded entries and reads decode them.
 func New(cfg hbm2.Config, scheme core.Scheme) *GPU {
-	g := &GPU{
-		Dev:    dram.New(cfg, dram.DefaultRefreshPeriod),
-		Scheme: scheme,
-	}
+	return Wrap(dram.New(cfg, dram.DefaultRefreshPeriod), scheme)
+}
+
+// Wrap builds a GPU around an existing device — e.g. a fleet daemon's
+// device that also runs raw microbenchmark checks — so resilient
+// ECC-protected reads and raw scans can share one set of physical cells.
+func Wrap(dev *dram.Device, scheme core.Scheme) *GPU {
+	g := &GPU{Dev: dev, Scheme: scheme}
 	if scheme != nil {
 		g.Dev.SetWireEncoder(scheme.Encode)
 	}
@@ -46,6 +60,10 @@ func (g *GPU) Clock() float64 { return g.clock }
 // Advance moves the simulation clock forward.
 func (g *GPU) Advance(dt float64) { g.clock += dt }
 
+// SetClock jumps the simulation clock (used when the GPU shares a device
+// with another driver that owns the timeline).
+func (g *GPU) SetClock(t float64) { g.clock = t }
+
 // WritePattern writes a full-memory data pattern at the current time.
 func (g *GPU) WritePattern(pat dram.PatternFn) { g.Dev.WriteAll(pat, g.clock) }
 
@@ -53,26 +71,6 @@ func (g *GPU) WritePattern(pat dram.PatternFn) { g.Dev.WriteAll(pat, g.clock) }
 type ReadResult struct {
 	Data   [hbm2.EntryBytes]byte
 	Status ecc.Status
-}
-
-// Read performs one 32B read at the current clock. With ECC enabled the
-// entry is decoded (correcting or detecting errors); with ECC disabled the
-// raw (possibly corrupted) data is returned with status OK.
-func (g *GPU) Read(idx int64) ReadResult {
-	g.Reads++
-	wire := g.Dev.ReadWire(idx, g.clock)
-	if g.Scheme == nil {
-		data, _ := wire.DataECC()
-		return ReadResult{Data: data, Status: ecc.OK}
-	}
-	res := g.Scheme.Decode(wire)
-	switch res.Status {
-	case ecc.Corrected:
-		g.Corrected++
-	case ecc.Detected:
-		g.DUEs++
-	}
-	return ReadResult{Data: res.Data, Status: res.Status}
 }
 
 // ECCEnabled reports whether DRAM ECC is on.

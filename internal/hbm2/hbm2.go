@@ -120,6 +120,25 @@ type CellAddr struct {
 	Bit   int   // 0..255 within the 32B data payload
 }
 
+// RowKey collapses an entry index to a key identifying its DRAM row
+// (clearing the column field): all 64 entries of one row share a key.
+// Row retirement operates at this granularity.
+func (c Config) RowKey(idx int64) int64 {
+	const colShift = channelBits + stackBits + bankBits
+	return idx &^ ((1<<columnBits - 1) << colShift)
+}
+
+// BankKey collapses an entry index to a key identifying its bank (the
+// stack/channel/bank fields), the blast radius of a dead-bank fault.
+func (c Config) BankKey(idx int64) int64 {
+	return idx & (1<<(channelBits+stackBits+bankBits) - 1)
+}
+
+// RowEntries returns the 64 entry indices of the row containing idx.
+func (c Config) RowEntries(idx int64) []int64 {
+	return c.SameRowEntries(c.CoordOf(idx))
+}
+
 // SameRowEntries returns the entry indices sharing co's row buffer (all 64
 // columns of the row), the blast radius of subarray- and wordline-level
 // faults.

@@ -9,20 +9,34 @@
 // real NVML counters; here the "hardware" is the repository's own
 // device model, which makes the daemon a deterministic integration rig
 // for the characterization pipeline.
+//
+// The daemon is built to survive misbehaving devices: every check runs
+// under a watchdog timeout (a stuck check is abandoned and its device
+// skipped until it returns), repeatedly failing devices get their checks
+// exponentially backed off, and — when the scrub path is enabled — the
+// daemon feeds the entries a check flagged through the resilient gpusim
+// read path, retiring weak rows to spare rows so damaged devices heal
+// instead of flooding every subsequent sweep.
 package healthd
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"hbm2ecc/internal/beam"
+	"hbm2ecc/internal/chaos"
 	"hbm2ecc/internal/classify"
+	"hbm2ecc/internal/core"
 	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/gpusim"
 	"hbm2ecc/internal/hbm2"
 	"hbm2ecc/internal/microbench"
 	"hbm2ecc/internal/obs"
+	"hbm2ecc/internal/resilience"
 )
 
 // Options configures the daemon.
@@ -52,6 +66,32 @@ type Options struct {
 	// backstops EventThreshold: a flooded log clusters into very few
 	// (huge) events, so the event count alone cannot see a storm.
 	RecordThreshold int
+	// CheckTimeout is the per-device watchdog: a check running longer is
+	// abandoned (device marked unhealthy, skipped while the stuck check
+	// drains in the background). Default 30s; negative disables.
+	CheckTimeout time.Duration
+	// BackoffAfter is the number of consecutive failed checks after
+	// which the daemon starts skipping the device's sweeps, doubling the
+	// skip count per additional failure (default 3; negative disables).
+	BackoffAfter int
+	// BackoffMaxSweeps caps the exponential backoff (default 8 sweeps).
+	BackoffMaxSweeps int
+	// Scrub enables graceful degradation: each device gets a resilient
+	// gpusim front-end (ECC decode, retry with backoff, weak-row
+	// retirement), and entries flagged by a check are scrubbed through
+	// it, retiring rows whose errors repeat.
+	Scrub bool
+	// RetireThreshold and SpareRows parameterize the per-device
+	// retirement table (defaults 2 errors and 64 spare rows).
+	RetireThreshold int
+	SpareRows       int
+	// Chaos attaches a seeded chaos fault plan to every device's scrub
+	// path (transient read faults, stuck rows, latency stalls, weak-cell
+	// storms). Implies Scrub.
+	Chaos bool
+	// ChaosOpts shapes the per-device chaos plans (zero value = chaos
+	// package defaults).
+	ChaosOpts chaos.Options
 	// Registry receives the daemon's metrics (default obs.Default).
 	Registry *obs.Registry
 }
@@ -81,6 +121,24 @@ func (o *Options) defaults() {
 	if o.RecordThreshold <= 0 {
 		o.RecordThreshold = 10_000
 	}
+	if o.CheckTimeout == 0 {
+		o.CheckTimeout = 30 * time.Second
+	}
+	if o.BackoffAfter == 0 {
+		o.BackoffAfter = 3
+	}
+	if o.BackoffMaxSweeps <= 0 {
+		o.BackoffMaxSweeps = 8
+	}
+	if o.RetireThreshold <= 0 {
+		o.RetireThreshold = 2
+	}
+	if o.SpareRows <= 0 {
+		o.SpareRows = 64
+	}
+	if o.Chaos {
+		o.Scrub = true
+	}
 	if o.Registry == nil {
 		o.Registry = obs.Default
 	}
@@ -102,6 +160,16 @@ type Daemon struct {
 	mHealthy       *obs.GaugeVec   // healthd_device_healthy{device}
 	mChecksTotal   *obs.Counter    // healthd_fleet_checks_total
 	mCheckDuration *obs.Histogram  // healthd_check_duration_seconds
+	mWatchdog      *obs.CounterVec // healthd_watchdog_trips_total{device}
+	mSkipped       *obs.CounterVec // healthd_checks_skipped_total{device,cause}
+	mScrubReads    *obs.CounterVec // healthd_scrub_reads_total{device}
+	mRetired       *obs.GaugeVec   // healthd_rows_retired{device}
+
+	// testCheckDelay, when set (tests only), runs at the top of every
+	// device check — the hook watchdog tests use to simulate a stall.
+	testCheckDelay func(*device)
+
+	inflight sync.WaitGroup
 
 	mu      sync.Mutex
 	devices []*device
@@ -109,10 +177,17 @@ type Daemon struct {
 }
 
 type device struct {
-	id    string
-	dev   *dram.Device
-	beam  *beam.Beam
-	clock float64
+	id      string
+	dev     *dram.Device
+	beam    *beam.Beam
+	gpu     *gpusim.GPU    // nil unless Scrub
+	harness *chaos.Harness // nil unless Chaos
+	clock   float64        // owned by the in-flight check goroutine
+
+	// busy marks a check in flight (set under Daemon.mu); while true the
+	// check goroutine exclusively owns dev/beam/gpu/clock and sweeps
+	// skip the device, which is what makes watchdog abandonment safe.
+	busy bool
 
 	weakObserved int
 	softEvents   int
@@ -123,6 +198,23 @@ type device struct {
 	reason       string
 	lastCheck    time.Time
 	lastDuration time.Duration
+
+	// Resilience bookkeeping.
+	watchdogTrips    int
+	consecutiveFails int
+	skipUntil        int // sweep index; checks skipped while below it
+	skippedChecks    int
+	scrubReads       int
+
+	// Snapshots of simulation-owned state, refreshed when a check folds
+	// its results; State reads these so it never races an in-flight
+	// (possibly abandoned) check touching the live device.
+	snapClock    float64
+	snapFluence  float64
+	snapWeakTrue int
+	snapRetired  int
+	snapSpares   int
+	snapDegraded bool
 }
 
 // New builds the daemon and its simulated fleet.
@@ -156,6 +248,15 @@ func New(opts Options) *Daemon {
 		mCheckDuration: r.Histogram("healthd_check_duration_seconds",
 			"Wall-clock duration of one device health check.",
 			obs.ExpBuckets(1e-5, 4, 12)).With(),
+		mWatchdog: r.Counter("healthd_watchdog_trips_total",
+			"Health checks abandoned by the per-check watchdog timeout.", "device"),
+		mSkipped: r.Counter("healthd_checks_skipped_total",
+			"Device checks skipped, by cause (busy = stuck check still "+
+				"draining; backoff = repeated-failure backoff).", "device", "cause"),
+		mScrubReads: r.Counter("healthd_scrub_reads_total",
+			"Resilient scrub reads issued against flagged entries.", "device"),
+		mRetired: r.Gauge("healthd_rows_retired",
+			"Weak rows retired to spare rows on the device.", "device"),
 	}
 	for i := 0; i < opts.Devices; i++ {
 		dev := dram.New(hbm2.V100(), dram.DefaultRefreshPeriod)
@@ -163,14 +264,30 @@ func New(opts Options) *Daemon {
 			Seed:           opts.Seed + int64(i)*7919,
 			SEURatePerFlux: 1 / (opts.MTTE * beam.ChipIRFlux),
 		})
-		d.devices = append(d.devices, &device{
+		dv := &device{
 			id:          "gpu" + strconv.Itoa(i),
 			dev:         dev,
 			beam:        b,
 			healthy:     true,
 			reason:      "not yet checked",
 			classTotals: map[string]int{},
-		})
+		}
+		if opts.Scrub {
+			dv.gpu = gpusim.Wrap(dev, core.NewSECDED(false, false))
+			dv.gpu.EnableResilience(gpusim.ResilienceOptions{
+				Retirement: resilience.RetirementPolicy{
+					ErrorThreshold: opts.RetireThreshold,
+					SpareRows:      opts.SpareRows,
+				},
+				Seed: opts.Seed + int64(i)*31,
+			})
+			dv.snapSpares = opts.SpareRows
+		}
+		if opts.Chaos {
+			plan := chaos.NewPlan(dev.Cfg, opts.Seed+int64(i)*104_729, opts.ChaosOpts)
+			dv.harness = chaos.Attach(dv.gpu, plan)
+		}
+		d.devices = append(d.devices, dv)
 	}
 	return d
 }
@@ -181,29 +298,88 @@ func (d *Daemon) Tracer() *obs.Tracer { return d.tracer }
 // Registry returns the registry the daemon publishes to.
 func (d *Daemon) Registry() *obs.Registry { return d.opts.Registry }
 
-// CheckOnce runs one health-check sweep across the fleet.
+// CheckOnce runs one health-check sweep across the fleet. Devices whose
+// previous check is still draining (watchdog-abandoned) or that are in
+// failure backoff are skipped; every other check runs under the watchdog
+// timeout.
 func (d *Daemon) CheckOnce() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	sweep := d.tracer.Start("healthd.sweep")
+	sweep := d.checks
+	d.mu.Unlock()
+	sweepSpan := d.tracer.Start("healthd.sweep")
 	for i, dv := range d.devices {
-		span := sweep.Child("check")
+		d.mu.Lock()
+		if dv.busy {
+			dv.skippedChecks++
+			d.mu.Unlock()
+			d.mSkipped.With(dv.id, "busy").Inc()
+			continue
+		}
+		if sweep < dv.skipUntil {
+			dv.skippedChecks++
+			d.mu.Unlock()
+			d.mSkipped.With(dv.id, "backoff").Inc()
+			continue
+		}
+		dv.busy = true
+		d.mu.Unlock()
+
+		span := sweepSpan.Child("check")
 		span.SetAttr("device", dv.id)
-		start := time.Now()
-		d.checkDevice(dv, int64(d.checks)*1009+int64(i), span)
-		dv.lastDuration = time.Since(start)
-		dv.lastCheck = time.Now()
-		d.mCheckDuration.Observe(dv.lastDuration.Seconds())
-		span.Finish()
+		salt := int64(sweep)*1009 + int64(i)
+		done := make(chan struct{})
+		d.inflight.Add(1)
+		go func(dv *device, span *obs.Span) {
+			defer d.inflight.Done()
+			defer close(done)
+			start := time.Now()
+			d.checkDevice(dv, sweep, salt, span)
+			elapsed := time.Since(start)
+			d.mu.Lock()
+			dv.busy = false
+			dv.lastCheck = time.Now()
+			dv.lastDuration = elapsed
+			d.mu.Unlock()
+			d.mCheckDuration.Observe(elapsed.Seconds())
+			span.Finish()
+		}(dv, span)
+
+		if d.opts.CheckTimeout <= 0 {
+			<-done
+			continue
+		}
+		select {
+		case <-done:
+		case <-time.After(d.opts.CheckTimeout):
+			// Abandon the check: the goroutine keeps exclusive ownership
+			// of the device (busy stays set) and folds its results
+			// whenever it returns; until then the device is unhealthy
+			// and skipped.
+			d.mu.Lock()
+			dv.watchdogTrips++
+			dv.healthy = false
+			dv.reason = fmt.Sprintf("watchdog: check exceeded %s; abandoned", d.opts.CheckTimeout)
+			d.mu.Unlock()
+			d.mWatchdog.With(dv.id).Inc()
+			d.mHealthy.With(dv.id).Set(0)
+		}
 	}
+	d.mu.Lock()
 	d.checks++
+	d.mu.Unlock()
 	d.mChecksTotal.Inc()
-	sweep.Finish()
+	sweepSpan.Finish()
 }
 
-// checkDevice runs the microbenchmark health check against one device
-// and folds the classified observations into the device state.
-func (d *Daemon) checkDevice(dv *device, salt int64, span *obs.Span) {
+// checkDevice runs the microbenchmark health check against one device,
+// scrubs what it finds through the resilient read path, and folds the
+// classified observations into the device state. Simulation state is
+// touched without the daemon lock — the busy flag guarantees exclusive
+// ownership — and results are folded under it.
+func (d *Daemon) checkDevice(dv *device, sweep int, salt int64, span *obs.Span) {
+	if d.testCheckDelay != nil {
+		d.testCheckDelay(dv)
+	}
 	var logs []*microbench.Log
 	for run := 0; run < d.opts.CheckRuns; run++ {
 		log := microbench.Run(microbench.Config{
@@ -229,6 +405,15 @@ func (d *Daemon) checkDevice(dv *device, salt int64, span *obs.Span) {
 	for _, l := range logs {
 		records += len(l.Records)
 	}
+	if dv.harness != nil {
+		// Activate chaos faults due by now even when there is nothing to
+		// scrub — weak-cell storms must land for later checks to observe.
+		dv.harness.Advance(dv.clock)
+	}
+	scrubReads := d.scrub(dv, an, span)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	dv.records += records
 	dv.weakObserved = len(an.DamagedEntries)
 	dv.softEvents += len(an.Events)
@@ -244,21 +429,77 @@ func (d *Daemon) checkDevice(dv *device, salt int64, span *obs.Span) {
 	}
 	dv.sbe += sbe
 	dv.mbe += mbe
+	dv.scrubReads += scrubReads
 
 	dv.healthy, dv.reason = d.verdict(dv, len(an.Events), records)
+	if dv.healthy {
+		dv.consecutiveFails = 0
+		dv.skipUntil = 0
+	} else {
+		dv.consecutiveFails++
+		if d.opts.BackoffAfter > 0 && dv.consecutiveFails >= d.opts.BackoffAfter {
+			skips := 1 << (dv.consecutiveFails - d.opts.BackoffAfter)
+			if skips > d.opts.BackoffMaxSweeps {
+				skips = d.opts.BackoffMaxSweeps
+			}
+			dv.skipUntil = sweep + 1 + skips
+		}
+	}
+
+	dv.snapClock = dv.clock
+	dv.snapFluence = dv.beam.Fluence()
+	dv.snapWeakTrue = dv.dev.WeakCellCount()
+	if dv.gpu != nil {
+		dv.snapRetired = dv.gpu.Retirement().RetiredCount()
+		dv.snapSpares = dv.gpu.Retirement().SparesLeft()
+		dv.snapDegraded = dv.gpu.Degraded()
+	}
 
 	d.mChecks.With(dv.id).Inc()
 	d.mEvents.With(dv.id, "sbe").Add(uint64(sbe))
 	d.mEvents.With(dv.id, "mbe").Add(uint64(mbe))
 	d.mRecords.With(dv.id).Add(uint64(records))
+	d.mScrubReads.With(dv.id).Add(uint64(scrubReads))
 	d.mWeakObserved.With(dv.id).Set(float64(dv.weakObserved))
-	d.mWeakTrue.With(dv.id).Set(float64(dv.dev.WeakCellCount()))
-	d.mFluence.With(dv.id).Set(dv.beam.Fluence())
+	d.mWeakTrue.With(dv.id).Set(float64(dv.snapWeakTrue))
+	d.mFluence.With(dv.id).Set(dv.snapFluence)
+	d.mRetired.With(dv.id).Set(float64(dv.snapRetired))
 	if dv.healthy {
 		d.mHealthy.With(dv.id).Set(1)
 	} else {
 		d.mHealthy.With(dv.id).Set(0)
 	}
+}
+
+// scrub feeds the entries the check flagged as damaged through the
+// resilient gpusim read path: repeated corrected errors cross the
+// retirement threshold and the row is remapped to a spare (physically
+// deleting its weak cells), transient chaos faults exercise the
+// retry-with-backoff path. Returns the number of scrub reads issued.
+func (d *Daemon) scrub(dv *device, an *classify.Analysis, span *obs.Span) int {
+	if dv.gpu == nil || len(an.DamagedEntries) == 0 {
+		return 0
+	}
+	ss := span.Child("scrub")
+	defer ss.Finish()
+	dv.gpu.SetClock(dv.clock)
+	// Deterministic scrub order (map iteration is randomized).
+	entries := make([]int64, 0, len(an.DamagedEntries))
+	for e := range an.DamagedEntries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+	reads := 0
+	for _, e := range entries {
+		row := dv.dev.Cfg.RowKey(e)
+		for i := 0; i < d.opts.RetireThreshold && !dv.gpu.Retirement().Retired(row); i++ {
+			dv.gpu.Read(e)
+			reads++
+		}
+	}
+	dv.clock = dv.gpu.Clock() // retry backoff advances simulated time
+	ss.SetAttr("reads", strconv.Itoa(reads))
+	return reads
 }
 
 func (d *Daemon) verdict(dv *device, events, records int) (bool, string) {
@@ -293,6 +534,17 @@ type DeviceState struct {
 	MismatchRecords     int            `json:"mismatch_records_total"`
 	LastCheck           time.Time      `json:"last_check"`
 	LastCheckDurationMS float64        `json:"last_check_duration_ms"`
+
+	// Resilience state.
+	CheckInFlight          bool `json:"check_in_flight"`
+	WatchdogTrips          int  `json:"watchdog_trips"`
+	ConsecutiveFailures    int  `json:"consecutive_failures"`
+	BackoffRemainingSweeps int  `json:"backoff_remaining_sweeps"`
+	SkippedChecks          int  `json:"skipped_checks"`
+	ScrubReads             int  `json:"scrub_reads"`
+	RetiredRows            int  `json:"retired_rows"`
+	SpareRowsLeft          int  `json:"spare_rows_left"`
+	DegradedMode           bool `json:"degraded_mode"`
 }
 
 // State is the fleet-wide /state payload.
@@ -317,14 +569,18 @@ func (d *Daemon) State() State {
 		for k, v := range dv.classTotals {
 			ct[k] = v
 		}
+		backoff := dv.skipUntil - d.checks
+		if backoff < 0 {
+			backoff = 0
+		}
 		st.Devices = append(st.Devices, DeviceState{
 			ID:                  dv.id,
 			Healthy:             dv.healthy,
 			Reason:              dv.reason,
-			SimClockSeconds:     dv.clock,
-			FluenceNCm2:         dv.beam.Fluence(),
+			SimClockSeconds:     dv.snapClock,
+			FluenceNCm2:         dv.snapFluence,
 			WeakEntriesObserved: dv.weakObserved,
-			WeakCellsTrue:       dv.dev.WeakCellCount(),
+			WeakCellsTrue:       dv.snapWeakTrue,
 			SoftEventsTotal:     dv.softEvents,
 			SBETotal:            dv.sbe,
 			MBETotal:            dv.mbe,
@@ -332,6 +588,16 @@ func (d *Daemon) State() State {
 			MismatchRecords:     dv.records,
 			LastCheck:           dv.lastCheck,
 			LastCheckDurationMS: float64(dv.lastDuration) / float64(time.Millisecond),
+
+			CheckInFlight:          dv.busy,
+			WatchdogTrips:          dv.watchdogTrips,
+			ConsecutiveFailures:    dv.consecutiveFails,
+			BackoffRemainingSweeps: backoff,
+			SkippedChecks:          dv.skippedChecks,
+			ScrubReads:             dv.scrubReads,
+			RetiredRows:            dv.snapRetired,
+			SpareRowsLeft:          dv.snapSpares,
+			DegradedMode:           dv.snapDegraded,
 		})
 		if !dv.healthy {
 			st.Status = "degraded"
@@ -352,9 +618,10 @@ func (d *Daemon) Healthy() bool {
 	return true
 }
 
-// Run executes health-check sweeps every interval until stop is closed.
-// The first sweep runs immediately.
-func (d *Daemon) Run(interval time.Duration, stop <-chan struct{}) {
+// Run executes health-check sweeps every interval until ctx is done,
+// then drains in-flight checks before returning. The first sweep runs
+// immediately.
+func (d *Daemon) Run(ctx context.Context, interval time.Duration) {
 	d.CheckOnce()
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -362,8 +629,13 @@ func (d *Daemon) Run(interval time.Duration, stop <-chan struct{}) {
 		select {
 		case <-ticker.C:
 			d.CheckOnce()
-		case <-stop:
+		case <-ctx.Done():
+			d.Drain()
 			return
 		}
 	}
 }
+
+// Drain blocks until every in-flight check — including watchdog-abandoned
+// ones — has folded its results.
+func (d *Daemon) Drain() { d.inflight.Wait() }

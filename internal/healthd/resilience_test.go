@@ -1,0 +1,198 @@
+package healthd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hbm2ecc/internal/chaos"
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/obs"
+)
+
+// TestWatchdogAbandonsStuckCheck stalls one device's check behind a
+// channel and verifies the watchdog marks it unhealthy, sweeps skip it
+// while the stuck check drains, and the result folds once released.
+func TestWatchdogAbandonsStuckCheck(t *testing.T) {
+	d := New(Options{
+		Devices:      2,
+		Seed:         5,
+		Registry:     obs.NewRegistry(),
+		CheckTimeout: 20 * time.Millisecond,
+	})
+	release := make(chan struct{})
+	d.testCheckDelay = func(dv *device) {
+		if dv.id == "gpu0" {
+			<-release
+		}
+	}
+
+	d.CheckOnce()
+	st := d.State()
+	gpu0, gpu1 := st.Devices[0], st.Devices[1]
+	if gpu0.WatchdogTrips != 1 {
+		t.Fatalf("gpu0 watchdog trips = %d, want 1", gpu0.WatchdogTrips)
+	}
+	if gpu0.Healthy || !strings.Contains(gpu0.Reason, "watchdog") {
+		t.Fatalf("gpu0 healthy=%v reason=%q, want watchdog verdict", gpu0.Healthy, gpu0.Reason)
+	}
+	if !gpu0.CheckInFlight {
+		t.Fatal("gpu0 stuck check not reported in flight")
+	}
+	if gpu1.WatchdogTrips != 0 || gpu1.Reason == "not yet checked" {
+		t.Fatalf("gpu1 not checked normally: %+v", gpu1)
+	}
+
+	// The next sweep must skip the busy device, not pile onto it.
+	d.CheckOnce()
+	if got := d.State().Devices[0].SkippedChecks; got != 1 {
+		t.Fatalf("gpu0 skipped checks = %d, want 1", got)
+	}
+
+	// Release the stuck check; its results fold and the device frees up.
+	close(release)
+	d.Drain()
+	gpu0 = d.State().Devices[0]
+	if gpu0.CheckInFlight {
+		t.Fatal("gpu0 still marked in flight after drain")
+	}
+	if strings.Contains(gpu0.Reason, "watchdog") {
+		t.Fatalf("gpu0 reason %q not refreshed by the drained check", gpu0.Reason)
+	}
+}
+
+// TestFailureBackoff drives a persistently failing device and verifies
+// the check loop backs off exponentially, with the state visible in
+// /state fields.
+func TestFailureBackoff(t *testing.T) {
+	d := New(Options{
+		Devices:            1,
+		Seed:               3,
+		Registry:           obs.NewRegistry(),
+		WeakEntryThreshold: 1, // saturated damage trips this every check
+		BackoffAfter:       2,
+		BackoffMaxSweeps:   4,
+	})
+	dv := d.devices[0]
+	dur := 5 * dv.beam.Damage.SaturationFluence / dv.beam.Flux
+	dv.beam.Expose(dv.clock, dv.clock+dur, 0)
+	dv.clock += dur
+
+	sawBackoff := false
+	for i := 0; i < 8; i++ {
+		d.CheckOnce()
+		if st := d.State().Devices[0]; st.BackoffRemainingSweeps > 0 {
+			sawBackoff = true
+			if st.Healthy {
+				t.Fatal("device in backoff but reported healthy")
+			}
+		}
+	}
+	st := d.State().Devices[0]
+	if !sawBackoff {
+		t.Fatal("backoff never engaged for a persistently failing device")
+	}
+	if st.SkippedChecks == 0 {
+		t.Fatal("no checks skipped despite backoff")
+	}
+	if st.ConsecutiveFailures < 2 {
+		t.Fatalf("consecutive failures = %d, want >= 2", st.ConsecutiveFailures)
+	}
+	// Skipped sweeps must not have run checks: failures + skips == sweeps.
+	if st.ConsecutiveFailures+st.SkippedChecks != 8 {
+		t.Fatalf("failures(%d) + skips(%d) != sweeps(8)",
+			st.ConsecutiveFailures, st.SkippedChecks)
+	}
+}
+
+// TestChaosScrubRetiresWeakRows plants a weak row, lets a health check
+// observe it, and verifies the scrub path retires the row — physically
+// removing the weak cells — with the retirement visible in the daemon's
+// registry and /state.
+func TestChaosScrubRetiresWeakRows(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := New(Options{
+		Devices:            1,
+		Seed:               13,
+		Registry:           reg,
+		Scrub:              true,
+		RetireThreshold:    2,
+		WeakEntryThreshold: 1000, // keep the verdict out of the way
+	})
+	dv := d.devices[0]
+	anchor := int64(4096)
+	entries := dv.dev.Cfg.RowEntries(anchor)[:3]
+	for i, e := range entries {
+		dv.dev.AddWeakCell(e, dram.WeakCell{Bit: (i % 4) * 72, Retention: 0.001, LeakTo: 0})
+	}
+
+	d.CheckOnce()
+	d.Drain()
+	st := d.State().Devices[0]
+	if st.ScrubReads == 0 {
+		t.Fatal("scrub issued no reads against a damaged device")
+	}
+	if st.RetiredRows < 1 {
+		t.Fatalf("retired rows = %d, want >= 1", st.RetiredRows)
+	}
+	if st.SpareRowsLeft >= 64 {
+		t.Fatalf("spare rows left = %d, want < 64", st.SpareRowsLeft)
+	}
+	if got := dv.dev.WeakCellCount(); got != 0 {
+		t.Fatalf("weak cells survived retirement: %d", got)
+	}
+
+	// The registry surface agrees.
+	found := false
+	for _, f := range reg.Snapshot().Families {
+		if f.Name == "healthd_rows_retired" {
+			for _, s := range f.Series {
+				if s.Value >= 1 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("healthd_rows_retired not >= 1 in registry")
+	}
+
+	// The next check sees a healed device: no damaged entries remain.
+	d.CheckOnce()
+	d.Drain()
+	if st := d.State().Devices[0]; st.WeakCellsTrue != 0 {
+		t.Fatalf("weak cells regrew unexpectedly: %d", st.WeakCellsTrue)
+	}
+}
+
+// TestChaosDaemonEndToEnd runs a chaos-enabled fleet for several sweeps:
+// chaos storms inject weak cells, checks observe them, and the scrub
+// path exercises retirement and retries without tripping the race
+// detector or destabilizing the daemon.
+func TestChaosDaemonEndToEnd(t *testing.T) {
+	d := New(Options{
+		Devices:            1,
+		Seed:               2021,
+		Registry:           obs.NewRegistry(),
+		Chaos:              true,
+		ChaosOpts:          chaos.Options{Horizon: 2, WeakStorms: 2, StormCells: 120, StormRows: 3},
+		WeakEntryThreshold: 10_000,
+		RecordThreshold:    1 << 30,
+		EventThreshold:     1 << 30,
+	})
+	for i := 0; i < 4; i++ {
+		d.CheckOnce()
+	}
+	d.Drain()
+	dv := d.devices[0]
+	if len(dv.harness.Trace()) == 0 {
+		t.Fatal("chaos harness applied no faults over 4 sweeps")
+	}
+	st := d.State().Devices[0]
+	if st.ScrubReads == 0 {
+		t.Fatal("storm-damaged entries never scrubbed")
+	}
+	if st.RetiredRows == 0 {
+		t.Fatal("no weak rows retired after chaos storms")
+	}
+}

@@ -14,6 +14,7 @@
 package microbench
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -113,6 +114,9 @@ type Log struct {
 	// duplicated-logging / assertion checks (≈0.6% of runs, §3); their
 	// records must not be used.
 	Discarded bool
+	// Cancelled marks runs cut short by context cancellation; their
+	// records are partial and must not enter campaign statistics.
+	Cancelled bool
 }
 
 // Config drives one microbenchmark run.
@@ -142,6 +146,16 @@ type Config struct {
 	// write_pass / read_scan / evaluate child spans under it. Purely
 	// observational — it never touches the simulation RNG or results.
 	Span *obs.Span
+	// Ctx, when non-nil, makes the run cancellable at write-pass
+	// granularity: a cancelled run returns early with Cancelled set.
+	Ctx context.Context
+	// Replay reruns the write/exposure schedule to reconstruct device
+	// and beam state exactly — same RNG consumption, same injected
+	// events, same weak-cell accrual — but skips the read evaluation, so
+	// the returned log carries no records and no telemetry is emitted.
+	// Campaign resume uses it to rebuild state behind a checkpoint at a
+	// fraction of the original cost.
+	Replay bool
 }
 
 func (c *Config) defaults() {
@@ -177,6 +191,12 @@ func Run(cfg Config) *Log {
 
 	t := cfg.StartTime
 	for w := 0; w < cfg.WritePasses; w++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			log.Cancelled = true
+			log.EndTime = t
+			sortRecords(log.Records)
+			return log
+		}
 		inverse := w%2 == 1
 		pat := func(idx int64) [hbm2.EntryBytes]byte {
 			return PatternData(cfg.Pattern, idx, inverse)
@@ -221,52 +241,62 @@ func Run(cfg Config) *Log {
 				}
 			}
 		}
-		// Weak cells become candidates once their retention expires.
-		dev.RangeWeakCells(func(entry int64, wc dram.WeakCell) bool {
-			if entry >= limit {
-				return true
-			}
-			eff := wc.Retention + dev.RetentionShift()
-			if eff >= dev.RefreshPeriod {
-				return true
-			}
-			leakTime := dev.LastWrite() + eff
-			// First read pass whose read of this entry happens after the
-			// leak.
-			for r := 0; r < cfg.ReadsPerWrite; r++ {
-				tread := readStart + (float64(r)+readFrac(entry))*cfg.PassDuration
-				if tread > leakTime {
-					markCandidate(candidates, entry, r)
-					break
+		if !cfg.Replay {
+			// Weak cells become candidates once their retention expires.
+			dev.RangeWeakCells(func(entry int64, wc dram.WeakCell) bool {
+				if entry >= limit {
+					return true
 				}
-			}
-			return true
-		})
+				eff := wc.Retention + dev.RetentionShift()
+				if eff >= dev.RefreshPeriod {
+					return true
+				}
+				leakTime := dev.LastWrite() + eff
+				// First read pass whose read of this entry happens after the
+				// leak.
+				for r := 0; r < cfg.ReadsPerWrite; r++ {
+					tread := readStart + (float64(r)+readFrac(entry))*cfg.PassDuration
+					if tread > leakTime {
+						markCandidate(candidates, entry, r)
+						break
+					}
+				}
+				return true
+			})
+		}
 		readSpan.Finish()
 
-		// Evaluate candidates against device state at their read times.
-		evalSpan := cfg.Span.Child("evaluate")
-		for entry, firstRead := range candidates {
-			expected := dev.Expected(entry)
-			for r := firstRead; r < cfg.ReadsPerWrite; r++ {
-				tread := readStart + (float64(r)+readFrac(entry))*cfg.PassDuration
-				got := dev.ReadEntry(entry, tread)
-				if got != expected {
-					log.Records = append(log.Records, Record{
-						Time:      tread,
-						WritePass: w,
-						ReadPass:  r,
-						Entry:     entry,
-						Expected:  expected,
-						Got:       got,
-					})
+		if !cfg.Replay {
+			// Evaluate candidates against device state at their read times.
+			evalSpan := cfg.Span.Child("evaluate")
+			for entry, firstRead := range candidates {
+				expected := dev.Expected(entry)
+				for r := firstRead; r < cfg.ReadsPerWrite; r++ {
+					tread := readStart + (float64(r)+readFrac(entry))*cfg.PassDuration
+					got := dev.ReadEntry(entry, tread)
+					if got != expected {
+						log.Records = append(log.Records, Record{
+							Time:      tread,
+							WritePass: w,
+							ReadPass:  r,
+							Entry:     entry,
+							Expected:  expected,
+							Got:       got,
+						})
+					}
 				}
 			}
+			evalSpan.Finish()
 		}
-		evalSpan.Finish()
 		t = readStart + float64(cfg.ReadsPerWrite)*cfg.PassDuration
 	}
 	log.EndTime = t
+	if cfg.Replay {
+		// State reconstruction only: no discard draw needed (the log is
+		// discarded wholesale) and no telemetry (the original run
+		// already counted).
+		return log
+	}
 	if rng.Float64() < cfg.DiscardProb {
 		log.Discarded = true
 	}

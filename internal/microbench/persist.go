@@ -31,8 +31,7 @@ type jsonLog struct {
 	Records   []jsonRecord `json:"records"`
 }
 
-// WriteJSON writes the log as one JSON document.
-func (l *Log) WriteJSON(w io.Writer) error {
+func (l *Log) toJSON() jsonLog {
 	out := jsonLog{
 		Pattern:   int(l.Pattern),
 		StartTime: l.StartTime,
@@ -47,15 +46,10 @@ func (l *Log) WriteJSON(w io.Writer) error {
 			Got:      hex.EncodeToString(r.Got[:]),
 		})
 	}
-	return json.NewEncoder(w).Encode(out)
+	return out
 }
 
-// ReadJSON parses one JSON log document.
-func ReadJSON(r io.Reader) (*Log, error) {
-	var in jsonLog
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, err
-	}
+func logFromJSON(in jsonLog) (*Log, error) {
 	log := &Log{
 		Pattern:   PatternKind(in.Pattern),
 		StartTime: in.StartTime,
@@ -74,6 +68,38 @@ func ReadJSON(r io.Reader) (*Log, error) {
 		log.Records = append(log.Records, rec)
 	}
 	return log, nil
+}
+
+// MarshalJSON encodes the log in the compact hex-payload on-disk form,
+// so campaign checkpoints embedding []*Log stay small and diff-able.
+func (l *Log) MarshalJSON() ([]byte, error) { return json.Marshal(l.toJSON()) }
+
+// UnmarshalJSON decodes the on-disk form.
+func (l *Log) UnmarshalJSON(b []byte) error {
+	var in jsonLog
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	parsed, err := logFromJSON(in)
+	if err != nil {
+		return err
+	}
+	*l = *parsed
+	return nil
+}
+
+// WriteJSON writes the log as one JSON document.
+func (l *Log) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(l.toJSON())
+}
+
+// ReadJSON parses one JSON log document.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var in jsonLog
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	return logFromJSON(in)
 }
 
 func decodeHex32(s string, out *[hbm2.EntryBytes]byte) error {

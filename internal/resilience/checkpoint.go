@@ -1,0 +1,55 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveJSON atomically writes v as JSON to path: the document is written
+// to a temp file in the same directory, fsynced, and renamed over the
+// destination, so a crash or SIGKILL mid-write never leaves a torn
+// checkpoint — the previous snapshot survives intact.
+func SaveJSON(path string, v any) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a checkpoint written by SaveJSON into v. A missing file
+// surfaces as an error wrapping os.ErrNotExist, so callers can treat
+// "no checkpoint yet" as a fresh start.
+func LoadJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("checkpoint: decode %s: %w", path, err)
+	}
+	return nil
+}

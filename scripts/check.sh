@@ -13,4 +13,7 @@ go build ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== chaos soak: go test -run Chaos -race -count=2 =="
+go test -run Chaos -race -count=2 ./internal/chaos/... ./internal/gpusim/... ./internal/healthd/...
+
 echo "OK: all checks passed"
