@@ -1,0 +1,297 @@
+// Command bench is the reproducible decode-throughput benchmark runner:
+// it times encode and decode (reference, fast single-shot, and batch
+// paths) for every Table-2 scheme over a corpus drawn from the sampled
+// Monte-Carlo error classes, times an end-to-end EvaluateAll, and emits
+// the results as JSON (BENCH_decode.json) so every future optimization
+// PR has a trajectory to beat.
+//
+// Usage:
+//
+//	go run ./cmd/bench                  # full run, writes BENCH_decode.json
+//	go run ./cmd/bench -quick -out f    # CI smoke (scripts/check.sh)
+//
+// Numbers are wall-clock and machine-dependent; the speedup ratios
+// (reference vs fast path on the same machine) are the stable signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/errormodel"
+	"hbm2ecc/internal/evalmc"
+)
+
+// ClassBench is one scheme's timings on a single sampled error class.
+type ClassBench struct {
+	Class        string  `json:"class"`
+	RefNS        float64 `json:"ref_decode_ns"`
+	FastNS       float64 `json:"fast_decode_ns"`
+	BatchNS      float64 `json:"batch_decode_ns"`
+	SpeedupFast  float64 `json:"speedup_fast"`
+	SpeedupBatch float64 `json:"speedup_batch"`
+}
+
+// SchemeBench is one scheme's measured timings, in nanoseconds per entry.
+type SchemeBench struct {
+	Name     string  `json:"name"`
+	EncodeNS float64 `json:"encode_ns"`
+	// RefNS is the reference (pre-fast-path) decoder on the error corpus.
+	RefNS float64 `json:"ref_decode_ns"`
+	// FastNS is the table-driven single-shot decoder on the same corpus.
+	FastNS float64 `json:"fast_decode_ns"`
+	// BatchNS is the batch fast path, the configuration the Monte-Carlo
+	// evaluator runs.
+	BatchNS float64 `json:"batch_decode_ns"`
+	// CleanBatchNS is the batch fast path on error-free entries (the
+	// common case of a real memory read).
+	CleanBatchNS float64 `json:"clean_batch_decode_ns"`
+	// SpeedupFast and SpeedupBatch are RefNS/FastNS and RefNS/BatchNS.
+	SpeedupFast  float64 `json:"speedup_fast"`
+	SpeedupBatch float64 `json:"speedup_batch"`
+	// PerClass breaks the decode timings down by sampled error class.
+	// The reference decoder bails out on the first uncorrectable codeword,
+	// so its cost varies strongly with the class mix; the mixed-corpus
+	// numbers above average over the three classes.
+	PerClass []ClassBench `json:"per_class"`
+}
+
+// EvalBench is the end-to-end Monte-Carlo evaluation timing.
+type EvalBench struct {
+	Samples      int     `json:"samples_per_class"`
+	Schemes      int     `json:"schemes"`
+	Trials       int     `json:"trials"`
+	Millis       float64 `json:"wall_ms"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// Report is the BENCH_decode.json schema.
+type Report struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	Corpus     int           `json:"corpus"`
+	Quick      bool          `json:"quick"`
+	Schemes    []SchemeBench `json:"schemes"`
+	Eval       EvalBench     `json:"evaluate_all"`
+}
+
+var sink int
+
+// measure runs pass repeatedly until minTime has elapsed and returns the
+// mean nanoseconds per corpus entry.
+func measure(minTime time.Duration, corpusLen int, pass func()) float64 {
+	pass() // warm tables and caches
+	iters := 0
+	var elapsed time.Duration
+	for elapsed < minTime {
+		start := time.Now()
+		pass()
+		elapsed += time.Since(start)
+		iters++
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters) / float64(corpusLen)
+}
+
+// corpusFor draws received words for one scheme: clean entries corrupted
+// round-robin by the three sampled Monte-Carlo classes (3 Bits, 1 Beat,
+// 1 Entry), the classes whose volume dominates evaluator runtime.
+func corpusFor(s core.Scheme, n int, seed int64) (errored, clean []bitvec.V288) {
+	var data [bitvec.DataBytes]byte
+	for i := range data {
+		data[i] = byte(i*17 + 3)
+	}
+	wire := s.Encode(data)
+	smp := errormodel.NewSampler(seed)
+	classes := []errormodel.Pattern{errormodel.Bits3, errormodel.Beat1, errormodel.Entry1}
+	errored = make([]bitvec.V288, n)
+	clean = make([]bitvec.V288, n)
+	for i := range errored {
+		errored[i] = wire.Xor(smp.Sample(classes[i%len(classes)]))
+		clean[i] = wire
+	}
+	return errored, clean
+}
+
+// measureDecode times the reference, fast single-shot and batch decode
+// paths over one corpus of received words.
+func measureDecode(s core.Scheme, words []bitvec.V288, out []core.WireResult, minTime time.Duration) (refNS, fastNS, batchNS float64) {
+	n := len(words)
+	if rd, ok := s.(core.RefDecoder); ok {
+		refNS = measure(minTime, n, func() {
+			for _, w := range words {
+				sink += int(rd.DecodeWireRef(w).Status)
+			}
+		})
+	} else {
+		refNS = measure(minTime, n, func() {
+			for _, w := range words {
+				sink += int(s.DecodeWire(w).Status)
+			}
+		})
+	}
+	fastNS = measure(minTime, n, func() {
+		for _, w := range words {
+			sink += int(s.DecodeWire(w).Status)
+		}
+	})
+	bd := core.AsBatchDecoder(s)
+	const chunk = 256
+	batchNS = measure(minTime, n, func() {
+		for off := 0; off < n; off += chunk {
+			end := off + chunk
+			if end > n {
+				end = n
+			}
+			bd.DecodeWireBatch(words[off:end], out[off:end])
+		}
+		sink += int(out[0].Status)
+	})
+	return refNS, fastNS, batchNS
+}
+
+func benchScheme(s core.Scheme, corpus int, seed int64, minTime time.Duration) SchemeBench {
+	sb := SchemeBench{Name: s.Name()}
+	errored, clean := corpusFor(s, corpus, seed)
+	out := make([]core.WireResult, corpus)
+
+	var data [bitvec.DataBytes]byte
+	sb.EncodeNS = measure(minTime, corpus, func() {
+		for i := 0; i < corpus; i++ {
+			w := s.Encode(data)
+			sink += int(w[0] & 1)
+		}
+	})
+
+	sb.RefNS, sb.FastNS, sb.BatchNS = measureDecode(s, errored, out, minTime)
+
+	bd := core.AsBatchDecoder(s)
+	sb.CleanBatchNS = measure(minTime, corpus, func() {
+		for off := 0; off < corpus; off += 256 {
+			end := off + 256
+			if end > corpus {
+				end = corpus
+			}
+			bd.DecodeWireBatch(clean[off:end], out[off:end])
+		}
+		sink += int(out[0].Status)
+	})
+
+	sb.SpeedupFast = sb.RefNS / sb.FastNS
+	sb.SpeedupBatch = sb.RefNS / sb.BatchNS
+
+	for _, p := range []errormodel.Pattern{errormodel.Bits3, errormodel.Beat1, errormodel.Entry1} {
+		var payload [bitvec.DataBytes]byte
+		for i := range payload {
+			payload[i] = byte(i*17 + 3)
+		}
+		base := s.Encode(payload)
+		smp := errormodel.NewSampler(seed ^ int64(p))
+		words := make([]bitvec.V288, corpus)
+		for i := range words {
+			words[i] = base.Xor(smp.Sample(p))
+		}
+		cb := ClassBench{Class: p.String()}
+		cb.RefNS, cb.FastNS, cb.BatchNS = measureDecode(s, words, out, minTime)
+		cb.SpeedupFast = cb.RefNS / cb.FastNS
+		cb.SpeedupBatch = cb.RefNS / cb.BatchNS
+		sb.PerClass = append(sb.PerClass, cb)
+	}
+	return sb
+}
+
+func main() {
+	out := flag.String("out", "BENCH_decode.json", "output JSON path")
+	quick := flag.Bool("quick", false, "CI smoke mode: small corpus and sample counts")
+	seed := flag.Int64("seed", 2021, "corpus and evaluation seed")
+	corpus := flag.Int("corpus", 8192, "received words per decode corpus")
+	samples := flag.Int("samples", 50_000, "Monte-Carlo samples per sampled class in the end-to-end timing")
+	minTime := flag.Duration("mintime", 300*time.Millisecond, "minimum measurement time per timing")
+	flag.Parse()
+
+	if *quick {
+		*corpus = 2048
+		*samples = 5_000
+		*minTime = 25 * time.Millisecond
+	}
+
+	schemes := []core.Scheme{
+		core.NewSECDED(false, false),
+		core.NewSECDED(true, false),
+		core.NewDuetECC(),
+		core.NewSEC2bEC(false, false),
+		core.NewSEC2bEC(true, false),
+		core.NewTrioECC(),
+		core.NewSSC(false),
+		core.NewSSC(true),
+		core.NewSSCDSDPlus(),
+	}
+
+	rep := Report{
+		Schema:     "hbm2ecc/bench_decode/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Corpus:     *corpus,
+		Quick:      *quick,
+	}
+
+	fmt.Printf("%-14s %10s %10s %10s %10s %10s %8s %8s\n",
+		"scheme", "encode", "ref", "fast", "batch", "clean", "fast-x", "batch-x")
+	for _, s := range schemes {
+		sb := benchScheme(s, *corpus, *seed, *minTime)
+		rep.Schemes = append(rep.Schemes, sb)
+		fmt.Printf("%-14s %8.1fns %8.1fns %8.1fns %8.1fns %8.1fns %7.2fx %7.2fx\n",
+			sb.Name, sb.EncodeNS, sb.RefNS, sb.FastNS, sb.BatchNS, sb.CleanBatchNS,
+			sb.SpeedupFast, sb.SpeedupBatch)
+		for _, cb := range sb.PerClass {
+			fmt.Printf("  %-12s %10s %8.1fns %8.1fns %8.1fns %10s %7.2fx %7.2fx\n",
+				cb.Class, "", cb.RefNS, cb.FastNS, cb.BatchNS, "", cb.SpeedupFast, cb.SpeedupBatch)
+		}
+	}
+
+	start := time.Now()
+	results := evalmc.EvaluateAll(schemes, evalmc.Options{
+		Seed:         *seed,
+		Samples3b:    *samples,
+		SamplesBeat:  *samples,
+		SamplesEntry: *samples,
+		Parallel:     true,
+	})
+	wall := time.Since(start)
+	trials := 0
+	for _, r := range results {
+		for _, p := range r.PerPattern {
+			trials += p.N
+		}
+	}
+	rep.Eval = EvalBench{
+		Samples:      *samples,
+		Schemes:      len(schemes),
+		Trials:       trials,
+		Millis:       float64(wall.Microseconds()) / 1000,
+		TrialsPerSec: float64(trials) / wall.Seconds(),
+	}
+	fmt.Printf("EvaluateAll: %d trials over %d schemes in %.1fms (%.2fM trials/sec)\n",
+		trials, len(schemes), rep.Eval.Millis, rep.Eval.TrialsPerSec/1e6)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+	_ = sink
+}

@@ -33,8 +33,12 @@ type Binary struct {
 	// physOf maps (codeword, codeword bit) to the wire bit index.
 	physOf [4][72]int16
 	// wireRows holds the H rows of each codeword as wire-space masks, so
-	// syndromes are computed straight from the received entry.
+	// the reference decoder computes syndromes straight from the received
+	// entry.
 	wireRows [4][8]bitvec.V288
+
+	// fast holds the table-driven decode path (fastpath.go).
+	fast binFast
 }
 
 // newBinary wires up a Binary scheme from a parity-check matrix.
@@ -82,6 +86,7 @@ func newBinary(name string, h *gf2.H72, interleaved, csc, correct2b bool) *Binar
 			b.lutPair[h.Cols[x]^h.Cols[y]] = int16(s)
 		}
 	}
+	b.buildFast()
 	return b
 }
 
@@ -176,7 +181,7 @@ func (b *Binary) ExtractData(wire bitvec.V288) [bitvec.DataBytes]byte {
 }
 
 // syndrome computes the 8-bit syndrome of codeword c directly from the
-// received wire entry.
+// received wire entry (reference path; the fast path uses packedSyndromes).
 func (b *Binary) syndrome(c int, wire bitvec.V288) uint8 {
 	var s uint8
 	for r := 0; r < gf2.R; r++ {
@@ -189,11 +194,18 @@ func (b *Binary) syndrome(c int, wire bitvec.V288) uint8 {
 	return s
 }
 
-// DecodeWire implements Scheme. Decoding follows §6.1: each codeword is
-// decoded independently; a DUE in any codeword discards the entry; the
-// correction sanity check (when enabled) converts multi-codeword
-// corrections that are not byte- or pin-local into a DUE.
+// DecodeWire implements Scheme via the table-driven fast path
+// (fastpath.go). Decoding follows §6.1: each codeword is decoded
+// independently; a DUE in any codeword discards the entry; the correction
+// sanity check (when enabled) converts multi-codeword corrections that
+// are not byte- or pin-local into a DUE.
 func (b *Binary) DecodeWire(recv bitvec.V288) WireResult {
+	return b.decodeWireFast(recv)
+}
+
+// DecodeWireRef implements RefDecoder: the original mask-fold decoder,
+// kept as the differential-testing baseline for the fast path.
+func (b *Binary) DecodeWireRef(recv bitvec.V288) WireResult {
 	var flips [8]int // wire bits to correct (≤2 per codeword)
 	nf := 0
 	codewordsCorrecting := 0

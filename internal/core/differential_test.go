@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/errormodel"
+)
+
+// allSchemesDiff extends allSchemes with the remaining CSC variants, the
+// bounded-distance ablations and the reconfigurable decoder in both
+// modes — every organization the fast path must match.
+func allSchemesDiff() []Scheme {
+	trioMode := NewReconfigurable()
+	trioMode.SetMode(ModeTrio)
+	return append(allSchemes(),
+		NewSECDED(false, true),
+		NewSEC2bEC(false, true),
+		NewDSC(),
+		NewSSCTSD(),
+		NewReconfigurable(),
+		trioMode,
+	)
+}
+
+// diffData is a nonzero payload so nonlinearity bugs in either path would
+// surface as data-dependent divergence.
+func diffData() [bitvec.DataBytes]byte {
+	var d [bitvec.DataBytes]byte
+	for i := range d {
+		d[i] = byte(0xA5 ^ i*29)
+	}
+	return d
+}
+
+// TestDifferentialFastVsRef drives the fast decode path (single and
+// batch) against the reference decoder for every scheme: exhaustive over
+// all 1-bit, pin, byte and 2-bit patterns, seeded-random over the
+// sampled 3-bit, beat and entry classes. Any divergence in wire image,
+// status or corrected-bit count fails.
+func TestDifferentialFastVsRef(t *testing.T) {
+	const sampledPerClass = 3000
+	for _, s := range allSchemesDiff() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			rd, ok := s.(RefDecoder)
+			if !ok {
+				t.Fatalf("%s does not expose a reference decoder", s.Name())
+			}
+			bd := AsBatchDecoder(s)
+			wire := s.Encode(diffData())
+
+			const batchCap = 512
+			var pend [batchCap]bitvec.V288
+			var single [batchCap]WireResult
+			var got [batchCap]WireResult
+			n := 0
+			flush := func() {
+				if n == 0 {
+					return
+				}
+				bd.DecodeWireBatch(pend[:n], got[:n])
+				for i := 0; i < n; i++ {
+					if got[i] != single[i] {
+						t.Fatalf("batch decode diverges from single decode on %v:\nbatch:  %+v\nsingle: %+v",
+							pend[i], got[i], single[i])
+					}
+				}
+				n = 0
+			}
+			check := func(e bitvec.V288) {
+				recv := wire.Xor(e)
+				ref := rd.DecodeWireRef(recv)
+				fast := s.DecodeWire(recv)
+				if fast != ref {
+					t.Fatalf("fast decode diverges from reference on error %v (pattern %s):\nfast: %+v\nref:  %+v",
+						e, errormodel.Classify(e), fast, ref)
+				}
+				pend[n], single[n] = recv, fast
+				n++
+				if n == batchCap {
+					flush()
+				}
+			}
+
+			for p := errormodel.Bit1; p <= errormodel.Bits2; p++ {
+				errormodel.Enumerate(p, check)
+			}
+			smp := errormodel.NewSampler(0xD1FF)
+			for _, p := range []errormodel.Pattern{errormodel.Bits3, errormodel.Beat1, errormodel.Entry1} {
+				for i := 0; i < sampledPerClass; i++ {
+					check(smp.Sample(p))
+				}
+			}
+			// The clean entry and a few corrupted-beyond-recognition words.
+			check(bitvec.V288{})
+			flush()
+		})
+	}
+}
+
+// TestBatchFallbackMatchesLoop pins the AsBatchDecoder fallback contract
+// on a scheme stripped of its native batch implementation.
+func TestBatchFallbackMatchesLoop(t *testing.T) {
+	s := NewDuetECC()
+	plain := struct{ Scheme }{s} // hides DecodeWireBatch
+	bd := AsBatchDecoder(plain)
+	if _, native := interface{}(plain).(BatchDecoder); native {
+		t.Fatal("wrapper unexpectedly implements BatchDecoder")
+	}
+	wire := s.Encode(diffData())
+	smp := errormodel.NewSampler(42)
+	recv := make([]bitvec.V288, 100)
+	for i := range recv {
+		recv[i] = wire.Xor(smp.Sample(errormodel.Entry1))
+	}
+	out := make([]WireResult, len(recv))
+	bd.DecodeWireBatch(recv, out)
+	for i := range recv {
+		if want := s.DecodeWire(recv[i]); out[i] != want {
+			t.Fatalf("fallback batch decode %d: got %+v want %+v", i, out[i], want)
+		}
+	}
+}

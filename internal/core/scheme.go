@@ -69,6 +69,42 @@ type Scheme interface {
 	CorrectsPins() bool
 }
 
+// BatchDecoder is implemented by schemes with a vectorized decode fast
+// path: one interface call decodes a whole batch, amortizing dynamic
+// dispatch out of the Monte-Carlo per-trial path and keeping the decode
+// tables hot. out[i] receives the result of decoding recv[i]; len(out)
+// must be at least len(recv). Implementations are safe for concurrent
+// use: distinct goroutines may decode distinct batches on one scheme.
+type BatchDecoder interface {
+	DecodeWireBatch(recv []bitvec.V288, out []WireResult)
+}
+
+// RefDecoder is implemented by schemes that retain their original
+// (pre-fast-path) reference decoder. The reference path is the baseline
+// for differential tests and benchmarks; it must produce bit-identical
+// results to DecodeWire on every input.
+type RefDecoder interface {
+	DecodeWireRef(recv bitvec.V288) WireResult
+}
+
+// AsBatchDecoder returns s's native batch decoder, or a fallback that
+// loops s.DecodeWire for schemes without one.
+func AsBatchDecoder(s Scheme) BatchDecoder {
+	if bd, ok := s.(BatchDecoder); ok {
+		return bd
+	}
+	return loopBatch{s}
+}
+
+// loopBatch adapts a plain Scheme to the BatchDecoder interface.
+type loopBatch struct{ s Scheme }
+
+func (l loopBatch) DecodeWireBatch(recv []bitvec.V288, out []WireResult) {
+	for i := range recv {
+		out[i] = l.s.DecodeWire(recv[i])
+	}
+}
+
 // decodeViaWire adapts DecodeWire to the payload-level Decode contract.
 func decodeViaWire(s Scheme, recv bitvec.V288) DecodeResult {
 	wr := s.DecodeWire(recv)

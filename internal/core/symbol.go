@@ -78,6 +78,9 @@ type Symbol struct {
 	// rejects for latency, kept for design-space ablation).
 	boundedT int
 	pinOK    bool
+
+	// fast holds the table-driven decode path (fastpath.go).
+	fast symFast
 }
 
 // NewSSC builds the interleaved (18,16)×2 single-symbol-correct scheme,
@@ -91,7 +94,9 @@ func NewSSC(csc bool) *Symbol {
 	if csc {
 		name = "I:SSC+CSC"
 	}
-	return &Symbol{name: name, rs: rs, layout: sscLayout(), csc: csc, pinOK: true}
+	s := &Symbol{name: name, rs: rs, layout: sscLayout(), csc: csc, pinOK: true}
+	s.buildFast()
+	return s
 }
 
 // NewSSCDSDPlus builds the paper's SSC-DSD+ scheme: a single (36,32)
@@ -101,7 +106,9 @@ func NewSSCDSDPlus() *Symbol {
 	if err != nil {
 		panic("core: (36,32) RS construction failed: " + err.Error())
 	}
-	return &Symbol{name: "SSC-DSD+", rs: rs, layout: dsdLayout(), dsdPlus: true}
+	s := &Symbol{name: "SSC-DSD+", rs: rs, layout: dsdLayout(), dsdPlus: true}
+	s.buildFast()
+	return s
 }
 
 // NewDSC builds the (36,32) double-symbol-correct organization the paper
@@ -114,7 +121,9 @@ func NewDSC() *Symbol {
 	if err != nil {
 		panic("core: (36,32) RS construction failed: " + err.Error())
 	}
-	return &Symbol{name: "DSC", rs: rs, layout: dsdLayout(), boundedT: 2}
+	s := &Symbol{name: "DSC", rs: rs, layout: dsdLayout(), boundedT: 2}
+	s.buildFast()
+	return s
 }
 
 // NewSSCTSD builds the (36,32) single-symbol-correct triple-symbol-detect
@@ -126,7 +135,9 @@ func NewSSCTSD() *Symbol {
 	if err != nil {
 		panic("core: (36,32) RS construction failed: " + err.Error())
 	}
-	return &Symbol{name: "SSC-TSD", rs: rs, layout: dsdLayout(), boundedT: 1}
+	s := &Symbol{name: "SSC-TSD", rs: rs, layout: dsdLayout(), boundedT: 1}
+	s.buildFast()
+	return s
 }
 
 // Name implements Scheme.
@@ -181,8 +192,22 @@ func (s *Symbol) ExtractData(wire bitvec.V288) [bitvec.DataBytes]byte {
 	return data
 }
 
-// DecodeWire implements Scheme.
+// DecodeWire implements Scheme via the table-driven fast path
+// (fastpath.go). The bounded-distance ablation organizations have no
+// table path and use the reference decoder.
 func (s *Symbol) DecodeWire(recv bitvec.V288) WireResult {
+	if s.boundedT > 0 {
+		return s.decodeBounded(recv)
+	}
+	if s.dsdPlus {
+		return s.decodeDSDPlusFast(recv)
+	}
+	return s.decodeSSCFast(recv)
+}
+
+// DecodeWireRef implements RefDecoder: the original gather-and-multiply
+// decoder, kept as the differential-testing baseline for the fast path.
+func (s *Symbol) DecodeWireRef(recv bitvec.V288) WireResult {
 	if s.boundedT > 0 {
 		return s.decodeBounded(recv)
 	}
@@ -234,10 +259,16 @@ func (s *Symbol) decodeSSC(recv bitvec.V288) WireResult {
 			correcting++
 		}
 	}
+	return s.applySSC(recv, &results, correcting)
+}
+
+// applySSC is the shared tail of the reference and fast SSC decoders:
+// the correction sanity check on the actual corrected wire bits, then
+// the wire update.
+func (s *Symbol) applySSC(recv bitvec.V288, results *[2]rscode.Result, correcting int) WireResult {
 	if correcting == 0 {
 		return WireResult{Wire: recv, Status: ecc.OK}
 	}
-	// Correction sanity check on the actual corrected wire bits.
 	var flips []int
 	for cw := 0; cw < 2; cw++ {
 		r := results[cw]
@@ -263,7 +294,12 @@ func (s *Symbol) decodeSSC(recv bitvec.V288) WireResult {
 func (s *Symbol) decodeDSDPlus(recv bitvec.V288) WireResult {
 	var buf [36]uint8
 	s.gatherSymbols(0, recv, buf[:])
-	r := s.rs.DecodeSSCDSDPlus(buf[:])
+	return s.applyDSDPlus(recv, s.rs.DecodeSSCDSDPlus(buf[:]))
+}
+
+// applyDSDPlus is the shared tail of the reference and fast SSC-DSD+
+// decoders: it scatters the corrected symbol back onto the wire.
+func (s *Symbol) applyDSDPlus(recv bitvec.V288, r rscode.Result) WireResult {
 	switch r.Status {
 	case ecc.Detected:
 		return WireResult{Wire: recv, Status: ecc.Detected}

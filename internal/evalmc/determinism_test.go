@@ -1,0 +1,38 @@
+package evalmc
+
+import (
+	"reflect"
+	"testing"
+
+	"hbm2ecc/internal/core"
+)
+
+// TestEvaluateAllParallelDeterminism runs the full parallel evaluation
+// twice with the same seed and demands reflect.DeepEqual results. Under
+// -race (scripts/check.sh runs the whole module that way) this doubles
+// as the proof that concurrent batch decoding on shared scheme tables is
+// race-free: every worker hammers the same precomputed lookup tables
+// while no goroutine may write them.
+func TestEvaluateAllParallelDeterminism(t *testing.T) {
+	opts := Options{
+		Seed:         77,
+		Samples3b:    10_000,
+		SamplesBeat:  10_000,
+		SamplesEntry: 10_000,
+		Parallel:     true,
+	}
+	schemes := func() []core.Scheme {
+		return []core.Scheme{
+			core.NewSECDED(false, false),
+			core.NewDuetECC(),
+			core.NewTrioECC(),
+			core.NewSSC(true),
+			core.NewSSCDSDPlus(),
+		}
+	}
+	first := EvaluateAll(schemes(), opts)
+	second := EvaluateAll(schemes(), opts)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("parallel evaluation is not deterministic:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

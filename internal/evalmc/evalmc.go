@@ -249,19 +249,66 @@ func classifyOutcome(s core.Scheme, wire, e bitvec.V288) ecc.Outcome {
 	return ecc.SDC
 }
 
+// decodeBatchSize is the number of trials handed to one BatchDecoder
+// call: large enough to amortize interface dispatch out of the per-trial
+// path, small enough that the pending buffers stay cache-resident
+// (2 × 256 × 40 B ≈ 20 KB per worker).
+const decodeBatchSize = 256
+
+// batchClassifier accumulates error patterns against one encoded entry
+// and classifies decode outcomes through a scheme's batch fast path.
+// Trials are buffered in add and decoded decodeBatchSize at a time; call
+// flush before reading the counters. Not safe for concurrent use — each
+// evaluator worker owns one.
+type batchClassifier struct {
+	wire bitvec.V288
+	dec  core.BatchDecoder
+	recv [decodeBatchSize]bitvec.V288
+	res  [decodeBatchSize]core.WireResult
+	n    int
+
+	dce, due, sdc int
+}
+
+func newBatchClassifier(s core.Scheme, wire bitvec.V288) *batchClassifier {
+	return &batchClassifier{wire: wire, dec: core.AsBatchDecoder(s)}
+}
+
+func (b *batchClassifier) add(e bitvec.V288) {
+	b.recv[b.n] = b.wire.Xor(e)
+	b.n++
+	if b.n == decodeBatchSize {
+		b.flush()
+	}
+}
+
+func (b *batchClassifier) flush() {
+	if b.n == 0 {
+		return
+	}
+	b.dec.DecodeWireBatch(b.recv[:b.n], b.res[:b.n])
+	for i := 0; i < b.n; i++ {
+		switch {
+		case b.res[i].Status == ecc.Detected:
+			b.due++
+		case b.res[i].Wire == b.wire:
+			b.dce++
+		default:
+			b.sdc++
+		}
+	}
+	b.n = 0
+}
+
 func evaluateExhaustive(s core.Scheme, wire bitvec.V288, p errormodel.Pattern) PatternResult {
 	r := PatternResult{Pattern: p, Exhaustive: true}
+	bc := newBatchClassifier(s, wire)
 	errormodel.Enumerate(p, func(e bitvec.V288) {
 		r.N++
-		switch classifyOutcome(s, wire, e) {
-		case ecc.DCE:
-			r.DCE++
-		case ecc.DUE:
-			r.DUE++
-		default:
-			r.SDC++
-		}
+		bc.add(e)
 	})
+	bc.flush()
+	r.DCE, r.DUE, r.SDC = bc.dce, bc.due, bc.sdc
 	return r
 }
 
@@ -293,24 +340,22 @@ func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n in
 		go func() {
 			defer wg.Done()
 			start := time.Now()
-			// Distinct deterministic stream per worker and pattern.
+			// Distinct deterministic stream per worker and pattern. The
+			// batch classifier buffers trials without reordering them, so
+			// the RNG consumption (and hence every sampled pattern) is
+			// identical to the pre-batching evaluator.
 			smp := errormodel.NewSampler(seed + int64(w)*1_000_003 + int64(p)*7_919)
+			bc := newBatchClassifier(s, wire)
 			var c counts
 			for i := 0; i < quota; i++ {
 				if ctx != nil && i%cancelCheckStride == 0 && ctx.Err() != nil {
 					break
 				}
-				e := smp.Sample(p)
+				bc.add(smp.Sample(p))
 				c.n++
-				switch classifyOutcome(s, wire, e) {
-				case ecc.DCE:
-					c.dce++
-				case ecc.DUE:
-					c.due++
-				default:
-					c.sdc++
-				}
 			}
+			bc.flush()
+			c.dce, c.due, c.sdc = bc.dce, bc.due, bc.sdc
 			parts[w] = c
 			if sec := time.Since(start).Seconds(); sec > 0 {
 				mWorkerRate.With(s.Name(), p.String(), strconv.Itoa(w)).

@@ -1,0 +1,107 @@
+package evalmc
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbm2ecc/internal/core"
+)
+
+// update regenerates the golden master. Run it after an intentional
+// change to decoder behavior or evaluator sampling:
+//
+//	go test ./internal/evalmc -run TestGoldenEvaluation -update
+//
+// and commit the refreshed testdata/golden_eval.json together with the
+// change that explains it.
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+const (
+	goldenSeed    = 2021
+	goldenSamples = 20_000
+	goldenPath    = "testdata/golden_eval.json"
+)
+
+// goldenSchemes is the Table-2 scheme list in row order.
+func goldenSchemes() []core.Scheme {
+	return []core.Scheme{
+		core.NewSECDED(false, false),
+		core.NewSECDED(true, false),
+		core.NewDuetECC(),
+		core.NewSEC2bEC(false, false),
+		core.NewSEC2bEC(true, false),
+		core.NewTrioECC(),
+		core.NewSSC(false),
+		core.NewSSC(true),
+		core.NewSSCDSDPlus(),
+	}
+}
+
+// goldenFile is the serialized form of the locked evaluation: the raw
+// per-pattern counts plus the derived Table 2 cells and Fig. 8 weighted
+// probabilities, so a drift in either the decoders or the presentation
+// layer shows up as a diff.
+type goldenFile struct {
+	Seed     int64          `json:"seed"`
+	Samples  int            `json:"samples"`
+	Results  []SchemeResult `json:"results"`
+	Table2   []Table2Row    `json:"table2"`
+	Weighted []Weighted     `json:"weighted"`
+}
+
+// TestGoldenEvaluation locks the Table 2 / Fig. 8 outputs at a fixed
+// seed and sample count. Sequential evaluation keeps the per-worker RNG
+// split out of the picture, so the golden bytes are machine-independent.
+func TestGoldenEvaluation(t *testing.T) {
+	results := EvaluateAll(goldenSchemes(), Options{
+		Seed:         goldenSeed,
+		Samples3b:    goldenSamples,
+		SamplesBeat:  goldenSamples,
+		SamplesEntry: goldenSamples,
+	})
+	got := goldenFile{Seed: goldenSeed, Samples: goldenSamples, Results: results, Table2: FormatTable2(results)}
+	for _, r := range results {
+		got.Weighted = append(got.Weighted, r.Weighted())
+	}
+	raw, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(raw))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden master: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(raw, want) {
+		var old goldenFile
+		if err := json.Unmarshal(want, &old); err == nil {
+			for i := range got.Results {
+				if i < len(old.Results) {
+					for p, pr := range got.Results[i].PerPattern {
+						if pr != old.Results[i].PerPattern[p] {
+							t.Errorf("%s / %s: got %+v, golden %+v",
+								got.Results[i].Scheme, pr.Pattern, pr, old.Results[i].PerPattern[p])
+						}
+					}
+				}
+			}
+		}
+		t.Fatalf("evaluation diverged from %s; if the change is intentional, regenerate with -update", goldenPath)
+	}
+}

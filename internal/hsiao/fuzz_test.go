@@ -1,0 +1,54 @@
+package hsiao
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/ecc"
+)
+
+// FuzzDecodeLookupVsScan throws arbitrary 72-bit words at the decoder:
+// the syndrome-LUT decode must agree with a brute-force scan over the H
+// columns, and a corrected word must have a zero syndrome.
+func FuzzDecodeLookupVsScan(f *testing.F) {
+	f.Add(make([]byte, 9))
+	seed := make([]byte, 9)
+	for i := range seed {
+		seed[i] = byte(0x11 * (i + 1))
+	}
+	f.Add(seed)
+	c := New()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) != 9 {
+			return
+		}
+		var lo uint64
+		for i := 0; i < 8; i++ {
+			lo |= uint64(raw[i]) << uint(8*i)
+		}
+		w := bitvec.V72FromUint64(lo, uint64(raw[8]))
+
+		// Reference: linear scan of all 72 columns for the syndrome.
+		s := c.Syndrome(w)
+		wantWord, wantStatus, wantPos := w, ecc.Detected, -1
+		if s == 0 {
+			wantStatus = ecc.OK
+		} else {
+			for j := 0; j < len(c.H.Cols); j++ {
+				if c.H.Cols[j] == s {
+					wantWord, wantStatus, wantPos = w.FlipBit(j), ecc.Corrected, j
+					break
+				}
+			}
+		}
+
+		word, status, pos := c.Decode(w)
+		if word != wantWord || status != wantStatus || pos != wantPos {
+			t.Fatalf("Decode(%v) = (%v, %v, %d); column scan says (%v, %v, %d)",
+				w, word, status, pos, wantWord, wantStatus, wantPos)
+		}
+		if status == ecc.Corrected && c.Syndrome(word) != 0 {
+			t.Fatalf("corrected word %v has nonzero syndrome", word)
+		}
+	})
+}

@@ -151,6 +151,55 @@ func (c *Code) Syndromes(cw, syn []uint8) {
 	}
 }
 
+// SynTab is a table-driven syndrome accumulator: entry [i][v] holds the
+// contribution of symbol value v at position i to all R syndromes, packed
+// 8 bits per syndrome (syndrome j occupies bits [8j, 8j+8)). One lookup
+// and one XOR per received symbol replace the R log/exp multiplies of
+// Syndromes, at a memory cost of N×256×4 bytes (36 KB for the (36,32)
+// code, 18 KB for (18,16)). It is safe for concurrent use.
+type SynTab struct {
+	n, r int
+	tab  [][256]uint32
+}
+
+// NewSynTab precomputes the packed syndrome table. It requires R <= 4.
+func (c *Code) NewSynTab() *SynTab {
+	if c.R > 4 {
+		panic("rscode: SynTab supports at most 4 check symbols")
+	}
+	t := &SynTab{n: c.N, r: c.R, tab: make([][256]uint32, c.N)}
+	for i := 0; i < c.N; i++ {
+		for v := 1; v < 256; v++ {
+			var packed uint32
+			for j := 0; j < c.R; j++ {
+				packed |= uint32(c.F.Mul(c.pow[j][i], uint8(v))) << uint(8*j)
+			}
+			t.tab[i][v] = packed
+		}
+	}
+	return t
+}
+
+// Packed returns all R syndromes of cw, packed 8 bits per syndrome.
+func (t *SynTab) Packed(cw []uint8) uint32 {
+	if len(cw) != t.n {
+		panic("rscode: bad SynTab codeword length")
+	}
+	var s uint32
+	for i, v := range cw {
+		s ^= t.tab[i][v]
+	}
+	return s
+}
+
+// Syndromes unpacks Packed into syn (length R), matching Code.Syndromes.
+func (t *SynTab) Syndromes(cw, syn []uint8) {
+	p := t.Packed(cw)
+	for j := 0; j < t.r; j++ {
+		syn[j] = uint8(p >> uint(8*j))
+	}
+}
+
 // Result is the outcome of decoding one RS codeword.
 type Result struct {
 	Status ecc.Status
@@ -169,7 +218,12 @@ func (c *Code) DecodeSSC(cw []uint8) Result {
 	}
 	var syn [2]uint8
 	c.Syndromes(cw, syn[:])
-	s0, s1 := syn[0], syn[1]
+	return c.DecodeSSCSyn(cw, syn[0], syn[1])
+}
+
+// DecodeSSCSyn is DecodeSSC with syndromes computed by the caller (e.g.
+// from a SynTab); it corrects cw in place.
+func (c *Code) DecodeSSCSyn(cw []uint8, s0, s1 uint8) Result {
 	if s0 == 0 && s1 == 0 {
 		return Result{Status: ecc.OK, Pos: -1}
 	}
@@ -200,6 +254,12 @@ func (c *Code) DecodeSSCDSDPlus(cw []uint8) Result {
 	}
 	var syn [4]uint8
 	c.Syndromes(cw, syn[:])
+	return c.DecodeSSCDSDPlusSyn(cw, syn)
+}
+
+// DecodeSSCDSDPlusSyn is DecodeSSCDSDPlus with syndromes computed by the
+// caller (e.g. from a SynTab); it corrects cw in place.
+func (c *Code) DecodeSSCDSDPlusSyn(cw []uint8, syn [4]uint8) Result {
 	allZero := syn[0] == 0 && syn[1] == 0 && syn[2] == 0 && syn[3] == 0
 	if allZero {
 		return Result{Status: ecc.OK, Pos: -1}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Decode-throughput benchmark: regenerates BENCH_decode.json at the repo
+# root. Pass extra cmd/bench flags through, e.g.:
+#
+#   scripts/bench.sh -quick -out /tmp/bench.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/bench "$@"

@@ -16,4 +16,14 @@ go test -race ./...
 echo "== chaos soak: go test -run Chaos -race -count=2 =="
 go test -run Chaos -race -count=2 ./internal/chaos/... ./internal/gpusim/... ./internal/healthd/...
 
+echo "== bench smoke: one iteration of every benchmark =="
+HBM2ECC_MC_SAMPLES=2000 HBM2ECC_CAMPAIGN_RUNS=20 \
+	go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "== bench smoke: cmd/bench -quick =="
+bench_out="${TMPDIR:-/tmp}/hbm2ecc_bench_smoke.json"
+go run ./cmd/bench -quick -out "$bench_out" >/dev/null
+test -s "$bench_out"
+rm -f "$bench_out"
+
 echo "OK: all checks passed"
