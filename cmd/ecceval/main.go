@@ -6,6 +6,12 @@
 // (scheme, pattern) cell is snapshotted atomically, SIGINT/SIGTERM stops
 // the run cleanly (exit 0), and -resume skips the completed cells —
 // yielding results identical to an uninterrupted evaluation.
+//
+// With -workers N the evaluation runs on the distributed campaign
+// engine (internal/cluster) in-process: a coordinator served over
+// loopback HTTP with N embedded workers speaking the real wire
+// protocol. Cell-level determinism makes the merged result bit-identical
+// to a sequential run with the same seed and sample counts.
 package main
 
 import (
@@ -17,16 +23,18 @@ import (
 	"os/signal"
 	"syscall"
 
+	"hbm2ecc/internal/cluster"
 	"hbm2ecc/internal/core"
 	"hbm2ecc/internal/errormodel"
 	"hbm2ecc/internal/evalmc"
 	"hbm2ecc/internal/obs"
-	"hbm2ecc/internal/textplot"
 )
 
 func main() {
 	seed := flag.Int64("seed", 2021, "random seed")
 	samples := flag.Int("samples", 400_000, "Monte-Carlo samples per sampled pattern class (paper used 1e7/1e9)")
+	workers := flag.Int("workers", 0,
+		"run on the distributed campaign engine with this many in-process workers (0 = classic sequential evaluation)")
 	withDSC := flag.Bool("dsc", false, "also evaluate the rejected (36,32) DSC organization (slow decoder)")
 	checkpoint := flag.String("checkpoint", "",
 		"snapshot each completed (scheme, pattern) cell to this file (atomic write)")
@@ -39,117 +47,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	schemes := []core.Scheme{
-		core.NewSECDED(false, false),
-		core.NewSECDED(true, false),
-		core.NewDuetECC(),
-		core.NewSEC2bEC(false, false),
-		core.NewSEC2bEC(true, false),
-		core.NewTrioECC(),
-		core.NewSSC(false),
-		core.NewSSC(true),
-		core.NewSSCDSDPlus(),
-	}
+	names := core.Table2Names()
 	if *withDSC {
-		schemes = append(schemes, core.NewDSC())
+		names = append(names, "DSC")
 	}
-	if *metrics != "" {
-		for i, s := range schemes {
-			schemes[i] = core.Instrumented(s)
-		}
+
+	var results []evalmc.SchemeResult
+	var err error
+	if *workers > 0 {
+		results, err = runCluster(ctx, names, *workers, *seed, *samples, *checkpoint, *resume)
+	} else {
+		results, err = runSequential(ctx, names, *seed, *samples, *checkpoint, *resume, *metrics != "")
 	}
-	opts := evalmc.Options{
-		Seed: *seed, Samples3b: *samples, SamplesBeat: *samples,
-		SamplesEntry: *samples, Parallel: true, Ctx: ctx,
-	}
-	ckptPath := *checkpoint
-	var ckpt *evalmc.Checkpoint
-	if *resume != "" {
-		loaded, err := evalmc.LoadCheckpoint(*resume)
-		if err != nil {
-			log.Fatalf("loading checkpoint: %v", err)
-		}
-		if err := loaded.Compatible(opts); err != nil {
-			log.Fatal(err)
-		}
-		ckpt = loaded
-		if ckptPath == "" {
-			ckptPath = *resume
-		}
-		fmt.Printf("Resuming evaluation from %s: %d cells complete.\n", *resume, ckpt.Cells())
-	} else if ckptPath != "" {
-		ckpt = evalmc.NewCheckpoint(opts)
-	}
-	if ckpt != nil {
-		opts.Resume = ckpt.Lookup
-		opts.Progress = func(scheme string, p errormodel.Pattern, r evalmc.PatternResult) {
-			ckpt.Store(scheme, p, r)
-			if ckptPath != "" {
-				if err := ckpt.Save(ckptPath); err != nil {
-					log.Fatalf("writing checkpoint: %v", err)
-				}
-			}
-		}
-	}
-	results, err := evalmc.EvaluateAllCtx(schemes, opts)
 	if err != nil {
-		// Interrupted: every completed cell is already checkpointed.
-		if ckptPath != "" {
-			fmt.Printf("interrupted with %d cells complete; resume with -resume %s\n",
-				ckpt.Cells(), ckptPath)
-		} else {
-			fmt.Println("interrupted (no -checkpoint path; progress not saved)")
-		}
-		return
+		log.Fatal(err)
+	}
+	if results == nil {
+		return // interrupted; checkpoint messages already printed
 	}
 
-	fmt.Println("Table 2: SDC risk per error pattern (C = all corrected, D = no SDC)")
-	t2 := textplot.NewTable("scheme", "1 Bit", "1 Pin", "1 Byte", "2 Bits", "3 Bits", "1 Beat", "1 Entry")
-	for _, r := range evalmc.FormatTable2(results) {
-		t2.AddRow(r.Scheme, r.Cells[0], r.Cells[1], r.Cells[2], r.Cells[3], r.Cells[4], r.Cells[5], r.Cells[6])
+	if err := evalmc.WriteReport(os.Stdout, results); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println(t2)
-
-	fmt.Println("SDC 95% confidence intervals for sampled classes:")
-	ci := textplot.NewTable("scheme", "1 Beat SDC", "1 Entry SDC")
-	for _, r := range results {
-		beat := r.PerPattern[errormodel.Beat1]
-		entry := r.PerPattern[errormodel.Entry1]
-		blo, bhi := beat.SDCInterval()
-		elo, ehi := entry.SDCInterval()
-		ci.AddRow(r.Scheme,
-			fmt.Sprintf("%.5f%% [%.5f–%.5f]", beat.FracSDC()*100, blo*100, bhi*100),
-			fmt.Sprintf("%.5f%% [%.5f–%.5f]", entry.FracSDC()*100, elo*100, ehi*100))
-	}
-	fmt.Println(ci)
-
-	fmt.Println("Fig. 8: Table-1-weighted outcome probabilities per random event")
-	f8 := textplot.NewTable("scheme", "corrected", "detected", "SDC", "SDC reduction vs SEC-DED")
-	base := results[0].Weighted()
-	for _, r := range results {
-		w := r.Weighted()
-		f8.AddRow(w.Scheme,
-			fmt.Sprintf("%.4f%%", w.DCE*100),
-			fmt.Sprintf("%.4f%%", w.DUE*100),
-			fmt.Sprintf("%.6f%%", w.SDC*100),
-			fmt.Sprintf("%.1f orders of magnitude", evalmc.SDCReduction(base, w)))
-	}
-	fmt.Println(f8)
-
-	duet := results[2].Weighted()
-	trio := results[5].Weighted()
-	fmt.Printf("TrioECC uncorrectable-error (DUE) reduction vs DuetECC: %.2fx (paper: 7.87x)\n\n",
-		evalmc.DUEReduction(duet, trio))
-
-	// CSC ablation (§7.1): the sanity check helps interleaved binary
-	// codewords far more than symbol-based correction.
-	iSEC := results[1].PerPattern[errormodel.Entry1]
-	duetE := results[2].PerPattern[errormodel.Entry1]
-	ssc := results[6].PerPattern[errormodel.Entry1]
-	sscCSC := results[7].PerPattern[errormodel.Entry1]
-	fmt.Println("CSC ablation on whole-entry SDC (paper: 19x for I:SEC-DED, 2.34x for I:SSC):")
-	fmt.Printf("  I:SEC-DED -> DuetECC:   %s\n", reduction(iSEC, duetE))
-	fmt.Printf("  I:SSC     -> I:SSC+CSC: %s\n", reduction(ssc, sscCSC))
 
 	if *metrics != "" {
 		fmt.Println("\n== telemetry: per-phase span durations ==")
@@ -165,15 +84,128 @@ func main() {
 	}
 }
 
-// reduction renders an SDC ratio, falling back to a CI-based lower bound
-// when the improved scheme saw no SDC at all in its samples.
-func reduction(before, after evalmc.PatternResult) string {
-	if after.SDC == 0 {
-		_, hi := after.SDCInterval()
-		if hi <= 0 {
-			return "no SDC in either"
+// loadOrNewCheckpoint wires the -checkpoint / -resume flags into a
+// checkpoint and the path it should be saved to (both nil/empty when
+// checkpointing is off).
+func loadOrNewCheckpoint(opts evalmc.Options, checkpoint, resume string) (*evalmc.Checkpoint, string, error) {
+	path := checkpoint
+	if resume != "" {
+		loaded, err := evalmc.LoadCheckpoint(resume)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading checkpoint: %w", err)
 		}
-		return fmt.Sprintf(">= %.0fx reduction (no SDC in %d samples)", before.FracSDC()/hi, after.N)
+		if err := loaded.Compatible(opts); err != nil {
+			return nil, "", err
+		}
+		if path == "" {
+			path = resume
+		}
+		fmt.Printf("Resuming evaluation from %s: %d cells complete.\n", resume, loaded.Cells())
+		return loaded, path, nil
 	}
-	return fmt.Sprintf("%.2fx reduction", before.FracSDC()/after.FracSDC())
+	if path != "" {
+		return evalmc.NewCheckpoint(opts), path, nil
+	}
+	return nil, "", nil
+}
+
+func interrupted(ckpt *evalmc.Checkpoint, path string) {
+	if path != "" {
+		fmt.Printf("interrupted with %d cells complete; resume with -resume %s\n", ckpt.Cells(), path)
+	} else {
+		fmt.Println("interrupted (no -checkpoint path; progress not saved)")
+	}
+}
+
+// runSequential is the classic single-process evaluation (per-cell
+// parallelism via GOMAXPROCS worker streams).
+func runSequential(ctx context.Context, names []string, seed int64, samples int, checkpoint, resume string, instrument bool) ([]evalmc.SchemeResult, error) {
+	schemes := make([]core.Scheme, len(names))
+	for i, name := range names {
+		s, err := core.SchemeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if instrument {
+			s = core.Instrumented(s)
+		}
+		schemes[i] = s
+	}
+	opts := evalmc.Options{
+		Seed: seed, Samples3b: samples, SamplesBeat: samples,
+		SamplesEntry: samples, Parallel: true, Ctx: ctx,
+	}
+	ckpt, path, err := loadOrNewCheckpoint(opts, checkpoint, resume)
+	if err != nil {
+		return nil, err
+	}
+	if ckpt != nil {
+		opts.Resume = ckpt.Lookup
+		opts.Progress = func(scheme string, p errormodel.Pattern, r evalmc.PatternResult) {
+			ckpt.Store(scheme, p, r)
+			if path != "" {
+				if err := ckpt.Save(path); err != nil {
+					log.Fatalf("writing checkpoint: %v", err)
+				}
+			}
+		}
+	}
+	results, err := evalmc.EvaluateAllCtx(schemes, opts)
+	if err != nil {
+		interrupted(ckpt, path)
+		return nil, nil
+	}
+	return results, nil
+}
+
+// runCluster evaluates on the distributed campaign engine over loopback
+// HTTP. Shards is pinned to 1, so the result is bit-identical to a
+// sequential (non -workers) run regardless of worker count — and the
+// checkpoint format is shared with the sequential path, except that a
+// cluster checkpoint records shards=1.
+func runCluster(ctx context.Context, names []string, workers int, seed int64, samples int, checkpoint, resume string) ([]evalmc.SchemeResult, error) {
+	spec := cluster.Spec{
+		Schemes:      names,
+		Seed:         seed,
+		Samples3b:    samples,
+		SamplesBeat:  samples,
+		SamplesEntry: samples,
+		Shards:       1,
+	}
+	copts := cluster.CoordinatorOptions{Spec: spec}
+	ckpt, path, err := loadOrNewCheckpoint(spec.Options(), checkpoint, resume)
+	if err != nil {
+		return nil, err
+	}
+	if ckpt != nil {
+		copts.Resume = ckpt.Lookup
+		copts.Progress = func(scheme string, p errormodel.Pattern, r evalmc.PatternResult) {
+			ckpt.Store(scheme, p, r)
+			if path != "" {
+				if err := ckpt.Save(path); err != nil {
+					log.Fatalf("writing checkpoint: %v", err)
+				}
+			}
+		}
+	}
+	results, coord, err := cluster.RunLocal(ctx, copts, workers, cluster.WorkerOptions{ID: "ecceval"})
+	if err != nil {
+		if ctx.Err() != nil {
+			interrupted(ckpt, path)
+			return nil, nil
+		}
+		return nil, err
+	}
+	st := coord.Status()
+	fmt.Printf("Distributed campaign: %d cells over %d workers (%d re-queued, %d resumed from checkpoint).\n",
+		st.Total, workers, st.Requeues, st.Done-completedByWorkers(st))
+	return results, nil
+}
+
+func completedByWorkers(st cluster.StatusResponse) int {
+	n := 0
+	for _, w := range st.Workers {
+		n += w.Completed
+	}
+	return n
 }

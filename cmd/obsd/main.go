@@ -21,17 +21,16 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"hbm2ecc/internal/healthd"
+	"hbm2ecc/internal/httpx"
 	"hbm2ecc/internal/obs"
 )
 
@@ -80,24 +79,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           d.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       10 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
+	// The shared helper hardens the server (timeouts, bounded request
+	// bodies) and turns ctx cancellation into a graceful drain — the
+	// same surface cmd/campaignd serves its campaign protocol on.
+	srv := httpx.NewServer(*addr, d.Handler())
 
 	loopDone := make(chan struct{})
 	go func() {
 		defer close(loopDone)
 		d.Run(ctx, *interval)
 	}()
+	srvDone := make(chan struct{})
 	go func() {
+		defer close(srvDone)
 		log.Printf("obsd: %d simulated devices, checking every %s, serving on %s (chaos=%v)",
 			*devices, *interval, *addr, *chaosOn)
-		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if err := httpx.ListenAndServe(ctx, srv, 10*time.Second); err != nil {
 			log.Fatal(err)
 		}
 	}()
@@ -105,11 +102,6 @@ func main() {
 	<-ctx.Done()
 	log.Print("obsd: signal received, draining in-flight checks")
 	<-loopDone // Run drains in-flight checks before returning
-
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("obsd: server shutdown: %v", err)
-	}
+	<-srvDone  // graceful server shutdown driven by ctx
 	log.Print("obsd: shut down cleanly")
 }

@@ -1,0 +1,33 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+
+	"hbm2ecc/internal/evalmc"
+	"hbm2ecc/internal/resilience"
+)
+
+// NewEnvelope wraps a campaign's completed-cell checkpoint for atomic
+// persistence: the spec echo lets a restarted coordinator refuse a
+// checkpoint taken under different parameters.
+func NewEnvelope(spec Spec, completed *evalmc.Checkpoint) *Envelope {
+	return &Envelope{Schema: CheckpointSchema, Spec: spec, Completed: completed}
+}
+
+// Save atomically writes the envelope (write-temp-then-rename via
+// resilience.SaveJSON), so a coordinator killed mid-write leaves the
+// previous snapshot intact.
+func (e *Envelope) Save(path string) error {
+	return resilience.SaveJSON(path, e)
+}
+
+// LoadEnvelope reads and validates a coordinator checkpoint. The file
+// passes through the same strict bounded decoder as wire frames.
+func LoadEnvelope(path string) (*Envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading checkpoint: %w", err)
+	}
+	return DecodeEnvelope(data)
+}

@@ -17,11 +17,16 @@ import (
 // The maps are keyed by scheme name and pattern String() so the on-disk
 // JSON stays human-readable. Lookup and Store are safe for concurrent use.
 type Checkpoint struct {
-	Seed         int64                               `json:"seed"`
-	Samples3b    int                                 `json:"samples_3b"`
-	SamplesBeat  int                                 `json:"samples_beat"`
-	SamplesEntry int                                 `json:"samples_entry"`
-	Results      map[string]map[string]PatternResult `json:"results"`
+	Seed         int64 `json:"seed"`
+	Samples3b    int   `json:"samples_3b"`
+	SamplesBeat  int   `json:"samples_beat"`
+	SamplesEntry int   `json:"samples_entry"`
+	// Shards echoes Options.Shards: a nonzero value pins the sampler
+	// stream split, and a checkpoint taken under one split must not be
+	// resumed under another (the trial sequences differ). Zero means the
+	// legacy GOMAXPROCS-derived split; old checkpoints decode to zero.
+	Shards  int                                 `json:"shards,omitempty"`
+	Results map[string]map[string]PatternResult `json:"results"`
 
 	mu sync.Mutex
 }
@@ -35,6 +40,7 @@ func NewCheckpoint(opts Options) *Checkpoint {
 		Samples3b:    opts.Samples3b,
 		SamplesBeat:  opts.SamplesBeat,
 		SamplesEntry: opts.SamplesEntry,
+		Shards:       opts.Shards,
 		Results:      map[string]map[string]PatternResult{},
 	}
 }
@@ -47,6 +53,10 @@ func (c *Checkpoint) Compatible(opts Options) error {
 		return fmt.Errorf("evalmc: checkpoint (seed=%d samples=%d/%d/%d) does not match options (seed=%d samples=%d/%d/%d)",
 			c.Seed, c.Samples3b, c.SamplesBeat, c.SamplesEntry,
 			opts.Seed, opts.Samples3b, opts.SamplesBeat, opts.SamplesEntry)
+	}
+	if c.Shards != opts.Shards {
+		return fmt.Errorf("evalmc: checkpoint shards=%d does not match options shards=%d (the sampler stream split differs)",
+			c.Shards, opts.Shards)
 	}
 	return nil
 }

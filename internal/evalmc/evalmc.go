@@ -63,6 +63,14 @@ type Options struct {
 	// Parallel enables evaluation across GOMAXPROCS goroutines (per
 	// pattern class; sampled classes are split into per-worker streams).
 	Parallel bool
+	// Shards, when positive, fixes the number of deterministic sampler
+	// streams a sampled pattern class is split into, independent of
+	// GOMAXPROCS — so results are machine-independent (Shards=1
+	// reproduces the sequential evaluation exactly). Zero keeps the
+	// legacy behavior: one stream, or GOMAXPROCS streams with Parallel.
+	// The distributed campaign engine pins Shards in its wire spec so
+	// every worker draws identical trial streams.
+	Shards int
 	// Ctx, when non-nil, makes the evaluation cancellable: EvaluateCtx
 	// stops between pattern classes and (for sampled classes) between
 	// worker batches, returning the context error. Partial pattern
@@ -195,34 +203,65 @@ func EvaluateCtx(s core.Scheme, opts Options) (SchemeResult, error) {
 		}
 		ps := span.Child("pattern")
 		ps.SetAttr("pattern", p.String())
-		start := time.Now()
-		var r PatternResult
-		complete := true
-		if errormodel.EnumerableCount(p) >= 0 {
-			r = evaluateExhaustive(s, wire, p)
-		} else {
-			n := opts.Samples3b
-			switch p {
-			case errormodel.Beat1:
-				n = opts.SamplesBeat
-			case errormodel.Entry1:
-				n = opts.SamplesEntry
-			}
-			r, complete = evaluateSampled(s, wire, p, n, opts)
-		}
+		r, err := evaluateCell(s, wire, p, opts)
 		ps.Finish()
-		if !complete {
-			// Cancelled mid-class: the partial counts would bias the
-			// estimator, so they are dropped (resume redoes the class).
-			return res, opts.Ctx.Err()
+		if err != nil {
+			return res, err
 		}
 		res.PerPattern[p] = r
-		recordPattern(s.Name(), r, time.Since(start))
 		if opts.Progress != nil {
 			opts.Progress(s.Name(), p, r)
 		}
 	}
 	return res, nil
+}
+
+// EvaluateCell evaluates a single (scheme, pattern) cell. Each cell
+// draws from its own deterministic sampler stream, so the full grid can
+// be evaluated in any order — or by different processes — and merged
+// into a result bit-identical to a sequential EvaluateCtx with the same
+// options. This is the unit of work the distributed campaign engine
+// (internal/cluster) leases to workers. The Resume and Progress hooks
+// are ignored; cancellation mid-cell returns the context error and
+// drops the partial counts (they would bias the estimator).
+func EvaluateCell(s core.Scheme, p errormodel.Pattern, opts Options) (PatternResult, error) {
+	opts.defaults()
+	return evaluateCell(s, s.Encode(opts.Data), p, opts)
+}
+
+// CellTrials returns the number of trials cell (·, p) will run under
+// opts: the enumerable class size, or the configured sample count.
+func CellTrials(p errormodel.Pattern, opts Options) int {
+	opts.defaults()
+	if n := errormodel.EnumerableCount(p); n >= 0 {
+		return n
+	}
+	switch p {
+	case errormodel.Beat1:
+		return opts.SamplesBeat
+	case errormodel.Entry1:
+		return opts.SamplesEntry
+	default:
+		return opts.Samples3b
+	}
+}
+
+func evaluateCell(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, opts Options) (PatternResult, error) {
+	start := time.Now()
+	var r PatternResult
+	complete := true
+	if errormodel.EnumerableCount(p) >= 0 {
+		r = evaluateExhaustive(s, wire, p)
+	} else {
+		r, complete = evaluateSampled(s, wire, p, CellTrials(p, opts), opts)
+	}
+	if !complete {
+		// Cancelled mid-class: the partial counts would bias the
+		// estimator, so they are dropped (resume redoes the class).
+		return PatternResult{}, opts.Ctx.Err()
+	}
+	recordPattern(s.Name(), r, time.Since(start))
+	return r, nil
 }
 
 // recordPattern publishes one pattern class's results to the registry.
@@ -318,9 +357,17 @@ func evaluateExhaustive(s core.Scheme, wire bitvec.V288, p errormodel.Pattern) P
 const cancelCheckStride = 4096
 
 func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n int, opts Options) (PatternResult, bool) {
-	seed, parallel, ctx := opts.Seed, opts.Parallel, opts.Ctx
+	seed, ctx := opts.Seed, opts.Ctx
+	// The worker count fixes the sampler stream split, and therefore the
+	// exact trial sequence: Shards pins it explicitly (machine-
+	// independent); otherwise Parallel derives it from GOMAXPROCS.
 	workers := 1
-	if parallel {
+	if opts.Shards > 0 {
+		workers = opts.Shards
+		if workers > n {
+			workers = n
+		}
+	} else if opts.Parallel {
 		workers = runtime.GOMAXPROCS(0)
 		if workers > n {
 			workers = 1

@@ -26,19 +26,11 @@ const (
 	goldenPath    = "testdata/golden_eval.json"
 )
 
-// goldenSchemes is the Table-2 scheme list in row order.
+// goldenSchemes is the Table-2 scheme list in row order — the shared
+// registry corpus, so the golden master and the distributed campaign
+// engine's byte-identity test (internal/cluster) evaluate the same grid.
 func goldenSchemes() []core.Scheme {
-	return []core.Scheme{
-		core.NewSECDED(false, false),
-		core.NewSECDED(true, false),
-		core.NewDuetECC(),
-		core.NewSEC2bEC(false, false),
-		core.NewSEC2bEC(true, false),
-		core.NewTrioECC(),
-		core.NewSSC(false),
-		core.NewSSC(true),
-		core.NewSSCDSDPlus(),
-	}
+	return core.Table2Schemes()
 }
 
 // goldenFile is the serialized form of the locked evaluation: the raw

@@ -1,0 +1,231 @@
+// Package httpx centralizes the hardening every HTTP surface in the
+// repository applies — obsd's fleet-health endpoints and the cluster
+// campaign protocol alike — so no server or client is assembled ad hoc:
+//
+//   - servers get conservative read/write/idle timeouts and a graceful
+//     drain on context cancellation (SIGINT-clean by construction);
+//   - request bodies are bounded before any handler decodes them;
+//   - clients get an overall request timeout and bounded response
+//     reading, so a wedged or malicious peer cannot park a goroutine or
+//     balloon memory.
+//
+// It is stdlib-only, like the rest of the repository's infrastructure.
+package httpx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultMaxBody bounds request and response bodies (1 MiB) unless the
+// caller picks a different limit. Every protocol in this repository
+// fits comfortably: the largest frame is a campaign checkpoint envelope
+// at a few tens of KiB.
+const DefaultMaxBody = 1 << 20
+
+// DefaultShutdownTimeout is how long Serve waits for in-flight requests
+// to drain after its context is cancelled.
+const DefaultShutdownTimeout = 10 * time.Second
+
+// NewServer returns an *http.Server with the repository's hardened
+// defaults: header/read/write/idle timeouts sized for small JSON APIs.
+// The handler is wrapped with MaxBytes(DefaultMaxBody); pass a
+// pre-wrapped handler through NewServerLimit to pick another bound.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return NewServerLimit(addr, h, DefaultMaxBody)
+}
+
+// NewServerLimit is NewServer with an explicit request-body bound
+// (limit <= 0 leaves bodies unbounded — only for handlers that never
+// read them).
+func NewServerLimit(addr string, h http.Handler, limit int64) *http.Server {
+	if limit > 0 {
+		h = MaxBytes(h, limit)
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// MaxBytes bounds every request body seen by next: reads past limit
+// fail, and handlers decoding JSON surface the standard
+// *http.MaxBytesError.
+func MaxBytes(next http.Handler, limit int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Serve runs srv on ln until ctx is cancelled, then shuts it down
+// gracefully, waiting up to shutdownTimeout (<=0 selects the default)
+// for in-flight requests. It returns nil on a clean shutdown and the
+// serve error otherwise.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, shutdownTimeout time.Duration) error {
+	if shutdownTimeout <= 0 {
+		shutdownTimeout = DefaultShutdownTimeout
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("httpx: shutdown: %w", err)
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	}
+}
+
+// ListenAndServe is Serve with a listener opened from srv.Addr.
+func ListenAndServe(ctx context.Context, srv *http.Server, shutdownTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, srv, ln, shutdownTimeout)
+}
+
+// WriteJSON writes v as a JSON response with the given status code.
+// Encoding errors past the header are unrecoverable and dropped.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Error writes a JSON error body with the given status code.
+func Error(w http.ResponseWriter, code int, msg string) {
+	WriteJSON(w, code, map[string]string{"error": msg})
+}
+
+// ReadBody reads a request body to completion under limit (<=0 selects
+// DefaultMaxBody). It composes with MaxBytes: whichever bound is
+// tighter wins.
+func ReadBody(r *http.Request, limit int64) ([]byte, error) {
+	if limit <= 0 {
+		limit = DefaultMaxBody
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("httpx: request body exceeds %d bytes", limit)
+	}
+	return body, nil
+}
+
+// Client is a hardened JSON-over-HTTP client: overall per-request
+// timeout, bounded response bodies, JSON round-tripping.
+type Client struct {
+	// HTTP is the underlying client (its Timeout bounds each request
+	// end to end).
+	HTTP *http.Client
+	// MaxBody bounds response bodies (0 selects DefaultMaxBody).
+	MaxBody int64
+}
+
+// NewClient builds a Client with the given end-to-end request timeout
+// (<=0 selects 30s).
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{HTTP: &http.Client{Timeout: timeout}}
+}
+
+func (c *Client) maxBody() int64 {
+	if c.MaxBody > 0 {
+		return c.MaxBody
+	}
+	return DefaultMaxBody
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	limit := c.maxBody()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return fmt.Errorf("httpx: reading response: %w", err)
+	}
+	if int64(len(body)) > limit {
+		return fmt.Errorf("httpx: response body exceeds %d bytes", limit)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return &StatusError{Code: resp.StatusCode, Body: string(truncate(body, 256))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("httpx: decoding response: %w", err)
+	}
+	return nil
+}
+
+// PostJSON POSTs in as JSON to url and decodes the response into out
+// (out may be nil to discard the body).
+func (c *Client) PostJSON(ctx context.Context, url string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("httpx: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// GetJSON GETs url and decodes the response into out.
+func (c *Client) GetJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// StatusError is a non-2xx HTTP response surfaced as an error.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpx: HTTP %d: %s", e.Code, e.Body)
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}

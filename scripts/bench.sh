@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
-# Decode-throughput benchmark: regenerates BENCH_decode.json at the repo
-# root. Pass extra cmd/bench flags through, e.g.:
+# Benchmark runner: regenerates BENCH_decode.json and BENCH_cluster.json
+# at the repo root. Pass extra cmd/bench flags through to both runs,
+# e.g.:
 #
-#   scripts/bench.sh -quick -out /tmp/bench.json
+#   scripts/bench.sh -quick
+#
+# or run a single benchmark directly:
+#
+#   go run ./cmd/bench -quick -out /tmp/bench.json
+#   go run ./cmd/bench -cluster
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec go run ./cmd/bench "$@"
+
+echo "== decode throughput (BENCH_decode.json) =="
+go run ./cmd/bench "$@"
+
+echo "== distributed campaign scaling (BENCH_cluster.json) =="
+go run ./cmd/bench -cluster "$@"

@@ -26,4 +26,7 @@ go run ./cmd/bench -quick -out "$bench_out" >/dev/null
 test -s "$bench_out"
 rm -f "$bench_out"
 
+echo "== cluster smoke: ecceval -workers 2 =="
+go run ./cmd/ecceval -workers 2 -samples 2000 >/dev/null
+
 echo "OK: all checks passed"
