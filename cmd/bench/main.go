@@ -10,6 +10,7 @@
 //	go run ./cmd/bench                  # full run, writes BENCH_decode.json
 //	go run ./cmd/bench -quick -out f    # CI smoke (scripts/check.sh)
 //	go run ./cmd/bench -cluster         # distributed scaling, BENCH_cluster.json
+//	go run ./cmd/bench -serve           # online serving tier, BENCH_serve.json
 //
 // Numbers are wall-clock and machine-dependent; the speedup ratios
 // (reference vs fast path on the same machine) are the stable signal.
@@ -214,6 +215,7 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default BENCH_decode.json, or BENCH_cluster.json with -cluster)")
 	quick := flag.Bool("quick", false, "CI smoke mode: small corpus and sample counts")
 	clusterBench := flag.Bool("cluster", false, "benchmark the distributed campaign engine's 1/2/4-worker scaling instead of decode throughput")
+	serveBench := flag.Bool("serve", false, "benchmark the online decode service (single vs micro-batched) instead of decode throughput")
 	seed := flag.Int64("seed", 2021, "corpus and evaluation seed")
 	corpus := flag.Int("corpus", 8192, "received words per decode corpus")
 	samples := flag.Int("samples", 50_000, "Monte-Carlo samples per sampled class in the end-to-end timing")
@@ -231,6 +233,16 @@ func main() {
 			*out = "BENCH_cluster.json"
 		}
 		if err := runClusterBench(*out, *seed, *samples); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveBench {
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		if err := runServeBench(*out, *seed, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

@@ -27,9 +27,7 @@ import (
 	"log"
 	"net"
 	"os"
-	"os/signal"
 	"sync"
-	"syscall"
 	"time"
 
 	"hbm2ecc/internal/cluster"
@@ -51,7 +49,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 2*time.Minute, "cell lease TTL before re-queue")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := httpx.SignalContext()
 	defer stop()
 
 	if *join != "" {
@@ -150,23 +148,18 @@ func runCoordinator(ctx context.Context, listen string, workers int, seed int64,
 		return err
 	}
 
-	ln, err := net.Listen("tcp", listen)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// The shared daemon bootstrap binds the listener up front (the
+	// embedded workers need the port) and drains on cancellation.
+	srv, err := httpx.StartDaemon(runCtx, listen, coord.Handler(), cluster.MaxFrame)
 	if err != nil {
 		return err
 	}
-	port := ln.Addr().(*net.TCPAddr).Port
-	log.Printf("coordinating %d cells on %s (%d embedded workers)", spec.NumCells(), ln.Addr(), workers)
+	port := srv.Addr().(*net.TCPAddr).Port
+	log.Printf("coordinating %d cells on %s (%d embedded workers)", spec.NumCells(), srv.Addr(), workers)
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
 	var wg sync.WaitGroup
-	srv := httpx.NewServerLimit("", coord.Handler(), cluster.MaxFrame)
-	srvErr := make(chan error, 1)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		srvErr <- httpx.Serve(runCtx, srv, ln, httpx.DefaultShutdownTimeout)
-	}()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -215,6 +208,7 @@ func runCoordinator(ctx context.Context, listen string, workers int, seed int64,
 	case <-ctx.Done():
 		cancel()
 		wg.Wait()
+		_ = srv.Wait()
 		if ckptPath != "" && ckpt != nil {
 			log.Printf("interrupted with %d cells complete; resume with -resume %s", ckpt.Cells(), ckptPath)
 		} else {
@@ -225,7 +219,7 @@ func runCoordinator(ctx context.Context, listen string, workers int, seed int64,
 	}
 	cancel()
 	wg.Wait()
-	if err := <-srvErr; err != nil {
+	if err := srv.Wait(); err != nil {
 		return err
 	}
 	if err := coord.Err(); err != nil {

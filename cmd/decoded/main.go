@@ -1,0 +1,100 @@
+// Command decoded is the online ECC decode daemon: it serves the
+// paper's entry-level decode fast path (internal/core) as a live HTTP
+// service built on the internal/serve micro-batching tier — bounded
+// queues, admission control, load shedding with Retry-After, and
+// per-scheme degrade-to-detect-only on decoder faults.
+//
+//	decoded -addr 127.0.0.1:8344
+//	decoded -schemes DuetECC,TrioECC -max-batch 256 -max-wait 200us
+//
+// Endpoints:
+//
+//	POST /v1/decode  — single + batch JSON decode API
+//	GET  /v1/schemes — served schemes and degrade state
+//	GET  /metrics    — Prometheus text (serve_* families)
+//	GET  /healthz    — liveness + degraded scheme list
+//
+// Drive it with cmd/loadgen. -single disables micro-batching (every
+// request decoded alone) — the baseline configuration cmd/bench -serve
+// quantifies against. SIGINT/SIGTERM drains in-flight requests, then
+// answers queued ones with shutdown 503s before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/httpx"
+	"hbm2ecc/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8344", "HTTP listen address (host:0 picks a free port, printed on startup)")
+	schemes := flag.String("schemes", "", "comma-separated scheme labels to serve (default: all Table-2 schemes)")
+	maxBatch := flag.Int("max-batch", 256, "micro-batch flush threshold, entries")
+	maxWait := flag.Duration("max-wait", 200*time.Microsecond, "micro-batch flush timer")
+	maxQueue := flag.Int("queue", 4096, "per-scheme queue bound, entries (admission control sheds past it)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "decode workers per scheme")
+	deadline := flag.Duration("deadline", 50*time.Millisecond, "per-request deadline from admission")
+	retryAfter := flag.Duration("retry-after", 100*time.Millisecond, "backoff hint on shed responses")
+	degradeBudget := flag.Int("degrade-budget", 8, "decoder faults tolerated before a scheme degrades to detect-only")
+	single := flag.Bool("single", false, "disable micro-batching: one decode call per request (benchmark baseline)")
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxBatch:      *maxBatch,
+		MaxWait:       *maxWait,
+		MaxQueue:      *maxQueue,
+		Workers:       *workers,
+		Deadline:      *deadline,
+		RetryAfter:    *retryAfter,
+		DegradeBudget: *degradeBudget,
+	}
+	if *single {
+		cfg.MaxBatch = 1
+	}
+	if *schemes != "" {
+		for _, name := range strings.Split(*schemes, ",") {
+			s, err := core.SchemeByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "decoded:", err)
+				os.Exit(1)
+			}
+			cfg.Schemes = append(cfg.Schemes, s)
+		}
+	}
+
+	svc, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decoded:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := httpx.SignalContext()
+	defer stop()
+
+	d, err := httpx.StartDaemon(ctx, *addr, svc.Handler(), serve.MaxFrame)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decoded:", err)
+		os.Exit(1)
+	}
+	log.Printf("decoded: serving %d schemes on %s (max_batch=%d max_wait=%s queue=%d deadline=%s)",
+		len(svc.Names()), d.URL(), cfg.MaxBatch, cfg.MaxWait, cfg.MaxQueue, cfg.Deadline)
+
+	<-ctx.Done()
+	log.Print("decoded: signal received, draining")
+	// Order matters: drain the HTTP server first (its in-flight
+	// handlers need the service), then close the service, which answers
+	// anything still queued with shutdown 503s.
+	if err := d.Wait(); err != nil {
+		log.Printf("decoded: %v", err)
+	}
+	svc.Close()
+	log.Print("decoded: shut down cleanly")
+}

@@ -1,0 +1,170 @@
+// Command loadgen drives a running decoded server with open- or
+// closed-loop decode traffic and reports throughput and latency
+// percentiles — the measurement half of the online serving tier.
+//
+//	loadgen -url http://127.0.0.1:8344 -duration 5s            # closed loop
+//	loadgen -url http://127.0.0.1:8344 -rate 20000 -conns 32   # open loop
+//
+// Closed loop (-rate 0) saturates: every connection issues requests
+// back-to-back, measuring the server's capacity. Open loop offers a
+// fixed rate regardless of completions, measuring latency and shedding
+// under a chosen load — including deliberate overload.
+//
+// Every response is run through the strict wire codec; codec violations
+// are counted separately from sheds and transport errors, and -min-
+// completions / the zero-codec-error gate make loadgen usable as a CI
+// smoke (scripts/check.sh does exactly that).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/errormodel"
+	"hbm2ecc/internal/httpx"
+	"hbm2ecc/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8344", "decoded base URL")
+	scheme := flag.String("scheme", "DuetECC", "scheme to decode against")
+	duration := flag.Duration("duration", 2*time.Second, "how long to offer load")
+	rate := flag.Float64("rate", 0, "offered requests/sec; 0 = closed loop (saturate)")
+	conns := flag.Int("conns", 8, "concurrent connections")
+	entries := flag.Int("entries", 1, "entries per request (1..512)")
+	errFrac := flag.Float64("errfrac", 0.25, "fraction of entries corrupted with sampled error patterns")
+	seed := flag.Int64("seed", 2021, "corpus seed")
+	wait := flag.Duration("wait", 0, "poll /healthz for up to this long before starting (server warm-up)")
+	minCompletions := flag.Int64("min-completions", 0, "exit nonzero unless at least this many requests completed")
+	jsonOut := flag.Bool("json", false, "emit the stats as JSON instead of the human summary")
+	flag.Parse()
+
+	if err := run(*url, *scheme, *duration, *rate, *conns, *entries, *errFrac, *seed, *wait, *minCompletions, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, scheme string, duration time.Duration, rate float64, conns, entries int, errFrac float64, seed int64, wait time.Duration, minCompletions int64, jsonOut bool) error {
+	s, err := core.SchemeByName(scheme)
+	if err != nil {
+		return err
+	}
+	if entries < 1 || entries > serve.MaxRequestEntries {
+		return fmt.Errorf("entries %d out of range [1, %d]", entries, serve.MaxRequestEntries)
+	}
+
+	client := httpx.NewClient(30 * time.Second)
+	ctx := context.Background()
+	if wait > 0 {
+		if err := waitHealthy(ctx, client, url, wait); err != nil {
+			return err
+		}
+	}
+
+	// Pre-marshal a pool of request bodies so the generator's own cost
+	// per request is one POST, not an encode pipeline.
+	bodies := buildCorpus(s, entries, errFrac, seed)
+	var next atomic.Int64
+	var codecErrs atomic.Int64
+
+	do := func(ctx context.Context) (serve.LoadOutcome, int) {
+		body := bodies[next.Add(1)%int64(len(bodies))]
+		var raw json.RawMessage
+		err := client.PostJSON(ctx, url+"/v1/decode", body, &raw)
+		if err != nil {
+			var se *httpx.StatusError
+			if errors.As(err, &se) && se.Code == http.StatusServiceUnavailable {
+				return serve.LoadShed, 0
+			}
+			return serve.LoadError, 0
+		}
+		resp, err := serve.DecodeDecodeResponse(raw)
+		if err != nil || len(resp.Results) != entries {
+			codecErrs.Add(1)
+			return serve.LoadError, 0
+		}
+		return serve.LoadOK, len(resp.Results)
+	}
+
+	st := serve.RunLoad(ctx, serve.LoadOptions{Conns: conns, Duration: duration, Rate: rate}, do)
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			return err
+		}
+	} else {
+		mode := "closed-loop"
+		if rate > 0 {
+			mode = fmt.Sprintf("open-loop %.0f req/s", rate)
+		}
+		fmt.Printf("loadgen: %s against %s (%s, %d conns, %d entries/req, %.0f%% errored)\n",
+			mode, url, scheme, conns, entries, errFrac*100)
+		fmt.Printf("  offered %d  issued %d  completed %d  shed %d  errors %d  codec-errors %d  overruns %d\n",
+			st.Offered, st.Issued, st.Completed, st.Shed, st.Errors, codecErrs.Load(), st.Overruns)
+		fmt.Printf("  throughput %.0f req/s (%.0f entries/s) over %.1fms\n",
+			st.RequestsPerSec, st.EntriesPerSec, st.ElapsedMS)
+		fmt.Printf("  latency p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms  mean %.3fms\n",
+			st.P50MS, st.P95MS, st.P99MS, st.MaxMS, st.MeanMS)
+	}
+
+	if ce := codecErrs.Load(); ce > 0 {
+		return fmt.Errorf("%d responses violated the wire codec", ce)
+	}
+	if st.Completed < minCompletions {
+		return fmt.Errorf("completed %d requests, want >= %d", st.Completed, minCompletions)
+	}
+	return nil
+}
+
+// buildCorpus pre-marshals a pool of decode requests: encoded entries
+// of varying payloads, a fraction corrupted with sampled Monte-Carlo
+// error patterns (3 Bits / 1 Beat / 1 Entry round-robin).
+func buildCorpus(s core.Scheme, entries int, errFrac float64, seed int64) []serve.DecodeRequest {
+	const pool = 64
+	rng := rand.New(rand.NewSource(seed))
+	smp := errormodel.NewSampler(seed)
+	classes := []errormodel.Pattern{errormodel.Bits3, errormodel.Beat1, errormodel.Entry1}
+	reqs := make([]serve.DecodeRequest, pool)
+	for p := range reqs {
+		req := serve.DecodeRequest{Scheme: s.Name(), Entries: make([]string, entries)}
+		for i := range req.Entries {
+			var data [bitvec.DataBytes]byte
+			rng.Read(data[:])
+			wire := s.Encode(data)
+			if rng.Float64() < errFrac {
+				wire = wire.Xor(smp.Sample(classes[rng.Intn(len(classes))]))
+			}
+			req.Entries[i] = serve.FormatEntry(wire)
+		}
+		reqs[p] = req
+	}
+	return reqs
+}
+
+// waitHealthy polls /healthz until it answers or the budget elapses.
+func waitHealthy(ctx context.Context, client *httpx.Client, url string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		err := client.GetJSON(ctx, url+"/healthz", nil)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s: %w", url, budget, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -19,14 +19,11 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"hbm2ecc/internal/healthd"
@@ -76,32 +73,30 @@ func main() {
 		return
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := httpx.SignalContext()
 	defer stop()
 
-	// The shared helper hardens the server (timeouts, bounded request
-	// bodies) and turns ctx cancellation into a graceful drain — the
-	// same surface cmd/campaignd serves its campaign protocol on.
-	srv := httpx.NewServer(*addr, d.Handler())
+	// The shared daemon bootstrap hardens the server (timeouts, bounded
+	// request bodies) and turns ctx cancellation into a graceful drain —
+	// the same scaffolding cmd/campaignd and cmd/decoded run on.
+	srv, err := httpx.StartDaemon(ctx, *addr, d.Handler(), httpx.DefaultMaxBody)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("obsd: %d simulated devices, checking every %s, serving on %s (chaos=%v)",
+		*devices, *interval, srv.Addr(), *chaosOn)
 
 	loopDone := make(chan struct{})
 	go func() {
 		defer close(loopDone)
 		d.Run(ctx, *interval)
 	}()
-	srvDone := make(chan struct{})
-	go func() {
-		defer close(srvDone)
-		log.Printf("obsd: %d simulated devices, checking every %s, serving on %s (chaos=%v)",
-			*devices, *interval, *addr, *chaosOn)
-		if err := httpx.ListenAndServe(ctx, srv, 10*time.Second); err != nil {
-			log.Fatal(err)
-		}
-	}()
 
 	<-ctx.Done()
 	log.Print("obsd: signal received, draining in-flight checks")
 	<-loopDone // Run drains in-flight checks before returning
-	<-srvDone  // graceful server shutdown driven by ctx
+	if err := srv.Wait(); err != nil {
+		log.Fatal(err)
+	}
 	log.Print("obsd: shut down cleanly")
 }

@@ -21,6 +21,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
 
@@ -106,6 +109,53 @@ func ListenAndServe(ctx context.Context, srv *http.Server, shutdownTimeout time.
 	}
 	return Serve(ctx, srv, ln, shutdownTimeout)
 }
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM — the
+// shared first line of every daemon main (obsd, campaignd, decoded).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Daemon is the shared HTTP daemon bootstrap: a hardened server bound
+// to a listener whose address is known immediately (so ":0" works for
+// tests and smoke scripts), serving in the background until its context
+// is cancelled, then draining gracefully. It consolidates the
+// listen/serve/drain scaffolding cmd/obsd, cmd/campaignd and
+// cmd/decoded would otherwise each assemble by hand.
+type Daemon struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// StartDaemon listens on addr and serves h (wrapped with MaxBytes when
+// limit > 0) until ctx is cancelled. The returned Daemon is already
+// accepting connections; call Wait to block for the graceful drain.
+func StartDaemon(ctx context.Context, addr string, h http.Handler, limit int64) (*Daemon, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		srv:  NewServerLimit("", h, limit),
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	go func() { d.done <- Serve(ctx, d.srv, ln, DefaultShutdownTimeout) }()
+	return d, nil
+}
+
+// Addr returns the daemon's bound address (resolves ":0" listens).
+func (d *Daemon) Addr() net.Addr { return d.ln.Addr() }
+
+// URL returns the daemon's base URL ("http://host:port").
+func (d *Daemon) URL() string { return "http://" + d.ln.Addr().String() }
+
+// Wait blocks until the serve loop has exited (after the start context
+// is cancelled and in-flight requests drained). It returns nil on a
+// clean shutdown and the serve error otherwise, and is safe to call
+// exactly once.
+func (d *Daemon) Wait() error { return <-d.done }
 
 // WriteJSON writes v as a JSON response with the given status code.
 // Encoding errors past the header are unrecoverable and dropped.

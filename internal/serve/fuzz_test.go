@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets lock the /v1/decode codec's front door, mirroring the
+// cluster protocol's discipline: no frame, however malformed, may panic
+// the decoder; any frame that decodes must satisfy its own Validate
+// invariants and survive a marshal/decode round trip. Run them as plain
+// tests in CI (the corpus seeds double as regression cases) or with
+// `go test -fuzz FuzzDecodeDecodeRequest ./internal/serve`.
+
+func FuzzDecodeDecodeRequest(f *testing.F) {
+	entry := strings.Repeat("0f", 36)
+	good, _ := json.Marshal(DecodeRequest{Scheme: "DuetECC", Entries: []string{entry}})
+	f.Add(good)
+	f.Add([]byte(`{"scheme":"DuetECC","entries":["` + entry + `"]} trailing`))
+	f.Add([]byte(`{"scheme":"DuetECC","entries":["` + entry + `"],"unknown":1}`))
+	f.Add([]byte(`{"scheme":"","entries":["` + entry + `"]}`))
+	f.Add([]byte(`{"scheme":"DuetECC","entries":[]}`))
+	f.Add([]byte(`{"scheme":"DuetECC","entries":["short"]}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeDecodeRequest(data)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("decoded frame fails its own validation: %v", err)
+		}
+		if _, err := r.ParseEntries(); err != nil {
+			t.Fatalf("validated entries fail to parse: %v", err)
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		r2, err := DecodeDecodeRequest(raw)
+		if err != nil || !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip: %+v -> %+v (err %v)", r, r2, err)
+		}
+	})
+}
+
+func FuzzDecodeDecodeResponse(f *testing.F) {
+	data := strings.Repeat("ab", 32)
+	good, _ := json.Marshal(DecodeResponse{
+		Scheme:       "DuetECC",
+		BatchEntries: 3,
+		Results: []EntryResult{
+			{Status: StatusOK, Data: data},
+			{Status: StatusCorrected, Data: data, CorrectedBits: 2},
+			{Status: StatusDetected},
+		},
+	})
+	f.Add(good)
+	f.Add([]byte(`{"scheme":"DuetECC","results":[{"status":"detected","data":"` + data + `"}]}`))
+	f.Add([]byte(`{"scheme":"DuetECC","results":[{"status":"ok","data":"zz"}]}`))
+	f.Add([]byte(`{"scheme":"DuetECC","results":[{"status":"weird"}]}`))
+	f.Add([]byte(`{"scheme":"DuetECC","results":[],"batch_entries":-1}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeDecodeResponse(data)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("decoded frame fails its own validation: %v", err)
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		r2, err := DecodeDecodeResponse(raw)
+		if err != nil || !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip: %+v -> %+v (err %v)", r, r2, err)
+		}
+	})
+}
+
+func FuzzDecodeSchemesResponse(f *testing.F) {
+	good, _ := json.Marshal(SchemesResponse{
+		Version: ProtocolVersion,
+		Schemes: []SchemeStatus{{Name: "DuetECC", CorrectsPins: true}, {Name: "XED", Degraded: true, Faults: 9}},
+	})
+	f.Add(good)
+	f.Add([]byte(`{"version":2,"schemes":[{"name":"DuetECC"}]}`))
+	f.Add([]byte(`{"version":1,"schemes":[]}`))
+	f.Add([]byte(`{"version":1,"schemes":[{"name":""}]}`))
+	f.Add([]byte(`{"version":1,"schemes":[{"name":"x"}]} extra`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeSchemesResponse(data)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("decoded frame fails its own validation: %v", err)
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		r2, err := DecodeSchemesResponse(raw)
+		if err != nil || !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip: %+v -> %+v (err %v)", r, r2, err)
+		}
+	})
+}

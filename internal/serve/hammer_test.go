@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbm2ecc/internal/core"
+)
+
+// TestShutdownHammer drives the micro-batcher with concurrent clients
+// whose contexts cancel at random, closes the service mid-flight, and
+// asserts the exactly-one-terminal-outcome invariant: every request
+// returns exactly once, classified as a response, a shed, a
+// cancellation, or a shutdown — nothing hangs, nothing double-delivers
+// (span.deliver panics on a double send by construction), and the
+// worker goroutines are all gone afterwards. Deterministic inputs
+// (seeded RNG, fixed counts); run it under -race.
+func TestShutdownHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 150
+	)
+	s := core.NewDuetECC()
+	cfg := testConfig(s, core.NewTrioECC())
+	cfg.Workers = 2
+	cfg.MaxBatch = 8
+	cfg.MaxWait = 100 * time.Microsecond
+	cfg.MaxQueue = 64 // small enough that the hammer sheds too
+	cfg.Deadline = 20 * time.Millisecond
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	names := svc.Names()
+	words := corpus(s, 64, 23)
+
+	var started, finished atomic.Int64
+	var ok, shed, canceled, shutdown atomic.Int64
+	release := make(chan struct{}) // closed when half the requests have started
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				if started.Add(1) == goroutines*perG/2 {
+					close(release)
+				}
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				switch rng.Intn(4) {
+				case 0: // cancels almost immediately
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				case 1: // already cancelled
+					ctx, cancel = context.WithCancel(ctx)
+					cancel()
+				}
+				n := 1 + rng.Intn(4)
+				_, err := svc.Decode(ctx, names[rng.Intn(len(names))], words[:n])
+				cancel()
+				finished.Add(1)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case IsShed(err):
+					shed.Add(1)
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					canceled.Add(1)
+				case errors.Is(err, ErrShutdown):
+					shutdown.Add(1)
+				default:
+					t.Errorf("unexpected terminal outcome: %v", err)
+				}
+			}
+		}(g)
+	}
+
+	<-release
+	svc.Close() // mid-flight: in-flight spans must still resolve
+	wg.Wait()
+
+	total := ok.Load() + shed.Load() + canceled.Load() + shutdown.Load()
+	if total != goroutines*perG || finished.Load() != goroutines*perG {
+		t.Fatalf("outcomes %d (ok %d, shed %d, canceled %d, shutdown %d) != requests %d",
+			total, ok.Load(), shed.Load(), canceled.Load(), shutdown.Load(), goroutines*perG)
+	}
+	if shutdown.Load() == 0 {
+		t.Error("mid-flight Close produced no shutdown outcomes (hammer not actually mid-flight)")
+	}
+	if ok.Load() == 0 {
+		t.Error("no request completed before Close")
+	}
+
+	// Workers and drains are done; allow the runtime a moment to retire
+	// the exiting goroutines, then check for leaks.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before hammer, %d after close", before, after)
+	}
+}

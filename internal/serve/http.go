@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hbm2ecc/internal/httpx"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/decode  — single + batch decode (503 + Retry-After on shed)
+//	GET  /v1/schemes — served schemes and their degrade state
+//	GET  /metrics    — Prometheus text (the service's registry)
+//	GET  /healthz    — 200 {"status":"ok"|"degraded", ...}
+//
+// Serve it behind httpx (bounded bodies, timeouts, graceful drain);
+// cmd/decoded does exactly that.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decode", s.handleDecode)
+	mux.HandleFunc("/v1/schemes", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, SchemesResponse{
+			Version: ProtocolVersion,
+			Schemes: s.Status(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		var degraded []string
+		for _, st := range s.Status() {
+			if st.Degraded {
+				degraded = append(degraded, st.Name)
+			}
+		}
+		// A degraded scheme answers detect-only; the server is still
+		// serving, so this stays 200 (the body carries the downgrade).
+		if len(degraded) > 0 {
+			status = "degraded"
+		}
+		httpx.WriteJSON(w, http.StatusOK, map[string]any{
+			"status":    status,
+			"degraded":  degraded,
+			"uptime_ms": time.Since(s.start).Milliseconds(),
+		})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = w.Write([]byte("hbm2ecc decoded — online ECC decode service\n" +
+			"endpoints: POST /v1/decode, GET /v1/schemes /metrics /healthz\n"))
+	})
+	return mux
+}
+
+func (s *Service) handleDecode(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpx.WriteJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	body, err := httpx.ReadBody(r, MaxFrame)
+	if err != nil {
+		code := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpx.WriteJSON(w, code, ErrorResponse{Error: err.Error()})
+		return
+	}
+	req, err := DecodeDecodeRequest(body)
+	if err != nil {
+		httpx.WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	entries, err := req.ParseEntries()
+	if err != nil {
+		httpx.WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	ss, ok := s.schemes[req.Scheme]
+	if !ok {
+		httpx.WriteJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown scheme " + strconv.Quote(req.Scheme)})
+		return
+	}
+
+	// The request context (cancelled on client disconnect) bounds the
+	// wait; the service adds its own deadline from admission.
+	reply, err := s.Decode(r.Context(), req.Scheme, entries)
+	switch {
+	case err == nil:
+		resp := DecodeResponse{
+			Scheme:       req.Scheme,
+			Degraded:     reply.Degraded,
+			BatchEntries: reply.BatchEntries,
+			Results:      make([]EntryResult, len(reply.Results)),
+		}
+		for i, wr := range reply.Results {
+			resp.Results[i] = EntryResultOf(ss.scheme, wr)
+		}
+		httpx.WriteJSON(w, http.StatusOK, resp)
+	case IsShed(err):
+		var oe *OverloadError
+		errors.As(err, &oe)
+		writeShed(w, oe)
+	case errors.Is(err, ErrShutdown):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		httpx.WriteJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error: err.Error(), Shed: true, Reason: "shutdown",
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client is gone (or its deadline passed); nothing useful can
+		// be written, but send a best-effort 503 for proxies that are
+		// still listening.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		httpx.WriteJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error: err.Error(), Shed: true, Reason: "canceled",
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		})
+	default:
+		httpx.WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	}
+}
+
+func writeShed(w http.ResponseWriter, oe *OverloadError) {
+	w.Header().Set("Retry-After", retryAfterSeconds(oe.RetryAfter))
+	httpx.WriteJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error:        oe.Error(),
+		Shed:         true,
+		Reason:       oe.Reason,
+		RetryAfterMS: oe.RetryAfter.Milliseconds(),
+	})
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (the header has no sub-second form).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/httpx"
+)
+
+func postJSON(t *testing.T, url string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+func TestHTTPDecodeEndToEnd(t *testing.T) {
+	s := core.NewDuetECC()
+	svc, err := New(testConfig(s, core.NewTrioECC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	words := corpus(s, 24, 7)
+	req := DecodeRequest{Scheme: s.Name()}
+	for _, w := range words {
+		req.Entries = append(req.Entries, FormatEntry(w))
+	}
+	body, _ := json.Marshal(req)
+	code, _, raw := postJSON(t, ts.URL+"/v1/decode", body)
+	if code != http.StatusOK {
+		t.Fatalf("decode: status %d, body %s", code, raw)
+	}
+	resp, err := DecodeDecodeResponse(raw)
+	if err != nil {
+		t.Fatalf("response fails strict codec: %v", err)
+	}
+	if resp.Scheme != s.Name() || len(resp.Results) != len(words) {
+		t.Fatalf("response shape: %+v", resp)
+	}
+	// Differential: the HTTP answer must match a direct decode.
+	for i, w := range words {
+		want := EntryResultOf(s, s.DecodeWire(w))
+		if resp.Results[i] != want {
+			t.Fatalf("entry %d: got %+v, want %+v", i, resp.Results[i], want)
+		}
+	}
+}
+
+func TestHTTPDecodeErrors(t *testing.T) {
+	s := core.NewDuetECC()
+	svc, err := New(testConfig(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// The production stack (cmd/decoded) serves the handler behind
+	// httpx.MaxBytes, which is what turns an oversized body into a 413.
+	ts := httptest.NewServer(httpx.MaxBytes(svc.Handler(), MaxFrame))
+	defer ts.Close()
+
+	entry := FormatEntry(s.Encode([bitvec.DataBytes]byte{}))
+
+	t.Run("method", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/decode")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+			t.Fatalf("GET /v1/decode: %d, Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+		}
+	})
+	t.Run("bad json", func(t *testing.T) {
+		for _, b := range []string{
+			`{"scheme":"DuetECC"`,
+			`{"scheme":"DuetECC","entries":["` + entry + `"],"extra":1}`,
+			`{"scheme":"DuetECC","entries":["` + entry + `"]} junk`,
+			`{"scheme":"DuetECC","entries":["nothex"]}`,
+		} {
+			code, _, raw := postJSON(t, ts.URL+"/v1/decode", []byte(b))
+			if code != http.StatusBadRequest {
+				t.Errorf("frame %.40q: status %d, body %s", b, code, raw)
+			}
+		}
+	})
+	t.Run("unknown scheme", func(t *testing.T) {
+		body, _ := json.Marshal(DecodeRequest{Scheme: "NoSuchECC", Entries: []string{entry}})
+		code, _, _ := postJSON(t, ts.URL+"/v1/decode", body)
+		if code != http.StatusNotFound {
+			t.Errorf("unknown scheme: status %d", code)
+		}
+	})
+	t.Run("oversized", func(t *testing.T) {
+		code, _, _ := postJSON(t, ts.URL+"/v1/decode", make([]byte, MaxFrame+1))
+		if code != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversized body: status %d", code)
+		}
+	})
+}
+
+func TestHTTPShedsWith503AndRetryAfter(t *testing.T) {
+	s := core.NewDuetECC()
+	entered := make(chan struct{}, 4)
+	gate := make(chan struct{})
+	cfg := testConfig(s)
+	cfg.Workers = 1
+	cfg.MaxBatch = 1
+	cfg.MaxQueue = 1
+	cfg.Deadline = time.Minute // queued requests must not expire while gated
+	cfg.RetryAfter = 1500 * time.Millisecond
+	cfg.DecoderFor = func(sc core.Scheme) core.BatchDecoder {
+		return gateDecoder{core.AsBatchDecoder(sc), entered, gate}
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	defer close(gate)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(DecodeRequest{
+		Scheme:  s.Name(),
+		Entries: []string{FormatEntry(s.Encode([bitvec.DataBytes]byte{1}))},
+	})
+
+	// First request occupies the gated worker; second fills the queue.
+	occupied := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			code, _, _ := postJSON(t, ts.URL+"/v1/decode", body)
+			if code != http.StatusOK {
+				t.Errorf("held request finished with %d", code)
+			}
+			occupied <- struct{}{}
+		}()
+		if i == 0 {
+			<-entered // the worker now holds the first request at the gate
+		}
+	}
+	waitQueued(t, svc, s.Name(), 1)
+
+	code, hdr, raw := postJSON(t, ts.URL+"/v1/decode", body)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("overload: status %d, body %s", code, raw)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After %q, want whole seconds >= 1", hdr.Get("Retry-After"))
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !er.Shed || er.Reason != "queue" || er.RetryAfterMS != 1500 {
+		t.Errorf("shed body = %+v", er)
+	}
+
+	gate <- struct{}{}
+	gate <- struct{}{}
+	<-occupied
+	<-occupied
+}
+
+func TestHTTPSchemesHealthzMetrics(t *testing.T) {
+	svc, err := New(testConfig(core.Table2Schemes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	code, raw := get("/v1/schemes")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/schemes: %d", code)
+	}
+	sr, err := DecodeSchemesResponse(raw)
+	if err != nil {
+		t.Fatalf("schemes response fails strict codec: %v", err)
+	}
+	if len(sr.Schemes) != len(core.Table2Schemes()) {
+		t.Errorf("schemes listed: %d", len(sr.Schemes))
+	}
+	for _, st := range sr.Schemes {
+		if st.Degraded {
+			t.Errorf("fresh scheme %s reports degraded", st.Name)
+		}
+	}
+
+	code, raw = get("/healthz")
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if code != http.StatusOK || json.Unmarshal(raw, &hz) != nil || hz.Status != "ok" {
+		t.Errorf("/healthz: %d %s", code, raw)
+	}
+
+	// Exercise one decode so the metric families have samples.
+	body, _ := json.Marshal(DecodeRequest{
+		Scheme:  "DuetECC",
+		Entries: []string{FormatEntry(core.NewDuetECC().Encode([bitvec.DataBytes]byte{2}))},
+	})
+	if code, _, _ := postJSON(t, ts.URL+"/v1/decode", body); code != http.StatusOK {
+		t.Fatalf("decode: %d", code)
+	}
+	code, raw = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{"serve_requests_total", "serve_batch_entries", "serve_entries_decoded_total"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+}
+
+// TestHTTPClientDisconnectCancels locks the cancel-on-disconnect path:
+// a client that goes away while its request waits on a gated worker must
+// release the span (outcome "canceled"), not hold queue budget.
+func TestHTTPClientDisconnectCancels(t *testing.T) {
+	s := core.NewDuetECC()
+	entered := make(chan struct{}, 4)
+	gate := make(chan struct{})
+	cfg := testConfig(s)
+	cfg.Workers = 1
+	cfg.MaxBatch = 1
+	cfg.MaxQueue = 4
+	cfg.Deadline = time.Minute
+	cfg.DecoderFor = func(sc core.Scheme) core.BatchDecoder {
+		return gateDecoder{core.AsBatchDecoder(sc), entered, gate}
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	defer close(gate)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(DecodeRequest{
+		Scheme:  s.Name(),
+		Entries: []string{FormatEntry(s.Encode([bitvec.DataBytes]byte{3}))},
+	})
+
+	// Hold the worker with one request, then disconnect a queued one.
+	held := make(chan struct{})
+	go func() {
+		defer close(held)
+		code, _, _ := postJSON(t, ts.URL+"/v1/decode", body)
+		if code != http.StatusOK {
+			t.Errorf("held request finished with %d", code)
+		}
+	}()
+	<-entered // the worker now holds the first request at the gate
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/decode", bytes.NewReader(body))
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		waitErr <- err
+	}()
+	waitQueued(t, svc, s.Name(), 1)
+	cancel() // client disconnects mid-queue
+	if err := <-waitErr; err == nil {
+		t.Error("cancelled client request returned without error")
+	}
+
+	// Release the worker: it finishes the held request, then dequeues the
+	// disconnected span and must release it without decoding (the batch
+	// of one cancelled span never reaches the decoder, so the gate is not
+	// pulled again) — freeing its queue budget.
+	gate <- struct{}{}
+	<-held
+	waitQueued(t, svc, s.Name(), 0)
+}

@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbm2ecc/internal/bitvec"
+)
+
+// This file is the load-generation engine shared by cmd/loadgen (HTTP
+// tier) and cmd/bench -serve (service tier): closed-loop (a fixed set
+// of connections issuing back-to-back requests — measures capacity) and
+// open-loop (a fixed offered rate regardless of completions — measures
+// behavior under a chosen load, including overload).
+//
+// Open-loop latencies are measured from the tick that *intended* the
+// request, not from when a worker got around to issuing it, so client-
+// side queueing counts against the server (no coordinated omission up
+// to the generator's own saturation, which is reported separately as
+// Overruns).
+
+// LoadOutcome classifies one request for accounting.
+type LoadOutcome int
+
+const (
+	// LoadOK is a served request (entries counted via the Entries
+	// return).
+	LoadOK LoadOutcome = iota
+	// LoadShed is a load-shedding rejection (503/OverloadError).
+	LoadShed
+	// LoadError is any other failure (transport, codec, server error).
+	LoadError
+)
+
+// LoadFunc issues one request. It reports the outcome class and, for
+// LoadOK, how many entries the reply carried.
+type LoadFunc func(ctx context.Context) (LoadOutcome, int)
+
+// LoadOptions configures one generator run.
+type LoadOptions struct {
+	// Conns is the number of concurrent request loops (default 8).
+	Conns int
+	// Duration is how long to offer load (default 2s).
+	Duration time.Duration
+	// Rate is the offered request rate per second; 0 runs closed-loop
+	// (every conn issues back-to-back).
+	Rate float64
+}
+
+func (o *LoadOptions) defaults() {
+	if o.Conns <= 0 {
+		o.Conns = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+}
+
+// LoadStats is one generator run's report.
+type LoadStats struct {
+	// Closed reports the loop mode.
+	Closed bool `json:"closed_loop"`
+	// OfferedRate is the configured open-loop rate (0 for closed).
+	OfferedRate float64 `json:"offered_rate,omitempty"`
+	// Offered counts intended requests (open loop: ticks; closed loop:
+	// equals Issued).
+	Offered int64 `json:"offered"`
+	// Issued counts requests actually sent.
+	Issued int64 `json:"issued"`
+	// Overruns counts open-loop ticks dropped because every conn was
+	// busy and the backlog window was full — the generator itself
+	// saturated; offered load beyond this point is nominal.
+	Overruns  int64 `json:"overruns,omitempty"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Errors    int64 `json:"errors"`
+	// Entries counts decoded entries across completed requests.
+	Entries int64 `json:"entries"`
+	// ElapsedMS is the measured wall clock of the run.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// RequestsPerSec and EntriesPerSec are completed throughput.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	EntriesPerSec  float64 `json:"entries_per_sec"`
+	// Latency percentiles of completed requests, milliseconds.
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// latHist is a lock-free log-bucketed latency histogram: 10 buckets per
+// decade from 1µs to 100s, accurate to ~26% per bucket — plenty for
+// p50/p95/p99 reporting.
+type latHist struct {
+	counts [101]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+	n      atomic.Int64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	if ns > 1000 {
+		i = int(math.Round(10 * math.Log10(float64(ns)/1000)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// quantile returns the q-quantile in milliseconds (geometric bucket
+// midpoint).
+func (h *latHist) quantile(q float64) float64 {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			// Bucket i spans [1µs·10^((i-0.5)/10), 1µs·10^((i+0.5)/10)).
+			return 1e-3 * math.Pow(10, float64(i)/10)
+		}
+	}
+	return float64(h.max.Load()) / 1e6
+}
+
+// Pipelined-ingress geometry: completions are collected in chunks — an
+// io_uring-CQ shape, one channel operation amortizing over pipeChunk
+// tickets.
+const pipeChunk = 32
+
+// RunLoadPipelined drives svc through its asynchronous ingress API: one
+// submitter goroutine issues Submit calls and the caller collects
+// completions with Wait, chunked so channel traffic amortizes. This is
+// the shape of a multiplexed wire protocol (many logical requests per
+// connection) and is the load model cmd/bench -serve uses: unlike a
+// goroutine-per-request closed loop, the generator itself pays no
+// per-request park/wake, so the service's own dispatch costs dominate
+// the measurement.
+//
+// Rate 0 runs closed-loop (the submitter keeps the window full); a
+// positive Rate paces submissions and measures latency from each
+// request's intended send time, so submitter-side backlog counts
+// against the server. Requests cycle through reqs round-robin. Conns is
+// ignored — the pipeline width is the window, not a goroutine count.
+func RunLoadPipelined(ctx context.Context, svc *Service, scheme string, reqs [][]bitvec.V288, opts LoadOptions) LoadStats {
+	opts.defaults()
+	st := LoadStats{Closed: opts.Rate <= 0, OfferedRate: opts.Rate}
+	var hist latHist
+
+	type pend struct {
+		tk Ticket
+		t0 time.Time
+	}
+	// The window bounds how far the submitter runs ahead of the
+	// collector, and its sizing is what makes each loop mode measure the
+	// right thing. Closed loop: the window IS the load (a fixed
+	// in-flight count, like a connection pool), so it sits well below
+	// MaxQueue and admission control never fires — backpressure comes
+	// from the client. Open loop: the offered rate must not be throttled
+	// by the generator, so the window sits above MaxQueue; only
+	// successfully admitted tickets occupy it (sheds never enter), which
+	// caps occupancy near the server's own queue bound and leaves the
+	// service's admission control as the binding constraint under
+	// overload — exactly the behavior the overload points probe.
+	chunks := min(32, max(1, svc.cfg.MaxQueue/(2*pipeChunk)))
+	if !st.Closed {
+		chunks = svc.cfg.MaxQueue/pipeChunk + 64
+	}
+	window := make(chan []pend, chunks)
+
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+	done := runCtx.Done()
+	start := time.Now()
+
+	var offered, issued, overruns, submitShed, submitErr int64
+	go func() { // submitter
+		defer close(window)
+		chunk := make([]pend, 0, pipeChunk)
+		var interval time.Duration
+		next := start // open loop: intended send time of the next request
+		if !st.Closed {
+			interval = time.Duration(float64(time.Second) / opts.Rate)
+			if interval <= 0 {
+				interval = 1
+			}
+		}
+		// How far behind its own schedule the generator may run before
+		// it stops pretending: past this, latency-from-intended-time
+		// would be measuring the generator's saturation, not the
+		// server's queueing, so the schedule jumps forward and the
+		// skipped sends are reported as Overruns instead.
+		const maxSchedLag = 5 * time.Millisecond
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				if len(chunk) > 0 {
+					window <- chunk
+				}
+				return
+			default:
+			}
+			var t0 time.Time
+			if st.Closed {
+				t0 = time.Now()
+			} else {
+				// Intended-time pacing: sleep only when ahead of schedule;
+				// after a sleep overshoot the loop bursts until the schedule
+				// catches up, so the offered rate holds on average.
+				if now := time.Now(); next.After(now) {
+					time.Sleep(next.Sub(now))
+				} else if lag := now.Sub(next); lag > maxSchedLag {
+					skip := int64(lag / interval)
+					overruns += skip
+					offered += skip
+					next = next.Add(time.Duration(skip) * interval)
+				}
+				t0 = next
+				next = next.Add(interval)
+			}
+			offered++
+			tk, err := svc.Submit(ctx, scheme, reqs[i%len(reqs)])
+			issued++
+			switch {
+			case err == nil:
+				chunk = append(chunk, pend{tk: tk, t0: t0})
+				if len(chunk) == pipeChunk {
+					window <- chunk
+					chunk = make([]pend, 0, pipeChunk)
+				}
+			case IsShed(err):
+				submitShed++
+			default:
+				submitErr++
+			}
+		}
+	}()
+
+	// Collect in the caller's goroutine. The submitter's ctx is the
+	// caller's (not runCtx), so when the run ends, in-flight requests
+	// drain normally rather than being poisoned by the cutoff.
+	var completed, shed, errs, entries int64
+	for chunk := range window {
+		for _, p := range chunk {
+			reply, err := p.tk.Wait(ctx)
+			switch {
+			case err == nil:
+				completed++
+				entries += int64(len(reply.Results))
+				hist.observe(time.Since(p.t0))
+			case IsShed(err):
+				shed++
+			default:
+				errs++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	st.Offered = offered
+	st.Issued = issued
+	st.Overruns = overruns
+	st.Completed = completed
+	st.Shed = shed + submitShed
+	st.Errors = errs + submitErr
+	st.Entries = entries
+	st.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	if secs := elapsed.Seconds(); secs > 0 {
+		st.RequestsPerSec = float64(st.Completed) / secs
+		st.EntriesPerSec = float64(st.Entries) / secs
+	}
+	st.P50MS = hist.quantile(0.50)
+	st.P95MS = hist.quantile(0.95)
+	st.P99MS = hist.quantile(0.99)
+	st.MaxMS = float64(hist.max.Load()) / 1e6
+	if n := hist.n.Load(); n > 0 {
+		st.MeanMS = float64(hist.sum.Load()) / float64(n) / 1e6
+	}
+	return st
+}
+
+// RunLoad drives do under opts and reports the aggregate stats. The run
+// also stops early when ctx is cancelled.
+func RunLoad(ctx context.Context, opts LoadOptions, do LoadFunc) LoadStats {
+	opts.defaults()
+	st := LoadStats{Closed: opts.Rate <= 0, OfferedRate: opts.Rate}
+	var hist latHist
+	var offered, issued, overruns, completed, shed, errs, entries atomic.Int64
+
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+	start := time.Now()
+
+	issue := func(t0 time.Time) {
+		outcome, n := do(runCtx)
+		issued.Add(1)
+		switch outcome {
+		case LoadOK:
+			completed.Add(1)
+			entries.Add(int64(n))
+			hist.observe(time.Since(t0))
+		case LoadShed:
+			shed.Add(1)
+		default:
+			errs.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	if st.Closed {
+		for c := 0; c < opts.Conns; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					offered.Add(1)
+					issue(time.Now())
+				}
+			}()
+		}
+	} else {
+		// Ticks carry their intended send time; the backlog window is a
+		// few requests per conn so a slow server shows up as latency
+		// (and eventually overruns), not as silently reduced load.
+		ticks := make(chan time.Time, 4*opts.Conns)
+		for c := 0; c < opts.Conns; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t0 := range ticks {
+					issue(t0)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(ticks)
+			// A coarse 1ms metronome releases fractional ticks so rates
+			// far above timer resolution still come out right.
+			const step = time.Millisecond
+			ticker := time.NewTicker(step)
+			defer ticker.Stop()
+			perStep := opts.Rate * step.Seconds()
+			var due float64
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case now := <-ticker.C:
+					due += perStep
+					for ; due >= 1; due-- {
+						offered.Add(1)
+						select {
+						case ticks <- now:
+						default:
+							overruns.Add(1)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st.Offered = offered.Load()
+	st.Issued = issued.Load()
+	st.Overruns = overruns.Load()
+	st.Completed = completed.Load()
+	st.Shed = shed.Load()
+	st.Errors = errs.Load()
+	st.Entries = entries.Load()
+	st.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	if secs := elapsed.Seconds(); secs > 0 {
+		st.RequestsPerSec = float64(st.Completed) / secs
+		st.EntriesPerSec = float64(st.Entries) / secs
+	}
+	st.P50MS = hist.quantile(0.50)
+	st.P95MS = hist.quantile(0.95)
+	st.P99MS = hist.quantile(0.99)
+	st.MaxMS = float64(hist.max.Load()) / 1e6
+	if n := hist.n.Load(); n > 0 {
+		st.MeanMS = float64(hist.sum.Load()) / float64(n) / 1e6
+	}
+	return st
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/core"
+)
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	const perEntry = 2
+	do := func(ctx context.Context) (LoadOutcome, int) {
+		time.Sleep(200 * time.Microsecond)
+		return LoadOK, perEntry
+	}
+	st := RunLoad(context.Background(), LoadOptions{Conns: 4, Duration: 300 * time.Millisecond}, do)
+	if !st.Closed || st.OfferedRate != 0 {
+		t.Errorf("closed-loop run reports %+v", st)
+	}
+	if st.Completed == 0 || st.Issued != st.Completed || st.Offered != st.Issued {
+		t.Errorf("accounting: offered %d, issued %d, completed %d", st.Offered, st.Issued, st.Completed)
+	}
+	if st.Entries != perEntry*st.Completed {
+		t.Errorf("entries %d, want %d", st.Entries, perEntry*st.Completed)
+	}
+	if st.RequestsPerSec <= 0 || st.EntriesPerSec <= 0 || st.ElapsedMS <= 0 {
+		t.Errorf("rates: %+v", st)
+	}
+	if st.P50MS <= 0 || st.P50MS > st.P95MS || st.P95MS > st.P99MS || st.P99MS > 2*st.MaxMS {
+		t.Errorf("percentiles out of order: p50 %.3f p95 %.3f p99 %.3f max %.3f",
+			st.P50MS, st.P95MS, st.P99MS, st.MaxMS)
+	}
+}
+
+func TestRunLoadOpenLoopOffersConfiguredRate(t *testing.T) {
+	const rate = 2000.0
+	do := func(ctx context.Context) (LoadOutcome, int) { return LoadOK, 1 }
+	st := RunLoad(context.Background(), LoadOptions{Conns: 4, Duration: 400 * time.Millisecond, Rate: rate}, do)
+	if st.Closed || st.OfferedRate != rate {
+		t.Errorf("open-loop run reports %+v", st)
+	}
+	nominal := rate * 0.4
+	// Generous bounds: a loaded CI box can stall the metronome, but the
+	// offered count must track the configured rate, not the service rate.
+	if float64(st.Offered) < nominal/4 || float64(st.Offered) > 2*nominal {
+		t.Errorf("offered %d ticks for nominal %.0f", st.Offered, nominal)
+	}
+	if st.Issued+st.Overruns != st.Offered {
+		t.Errorf("offered %d != issued %d + overruns %d", st.Offered, st.Issued, st.Overruns)
+	}
+}
+
+func TestRunLoadOutcomeAccounting(t *testing.T) {
+	var n atomic.Int64
+	do := func(ctx context.Context) (LoadOutcome, int) {
+		switch n.Add(1) % 3 {
+		case 0:
+			return LoadShed, 0
+		case 1:
+			return LoadError, 0
+		default:
+			return LoadOK, 1
+		}
+	}
+	st := RunLoad(context.Background(), LoadOptions{Conns: 2, Duration: 100 * time.Millisecond}, do)
+	if st.Completed+st.Shed+st.Errors != st.Issued {
+		t.Errorf("outcomes %d+%d+%d != issued %d", st.Completed, st.Shed, st.Errors, st.Issued)
+	}
+	if st.Completed == 0 || st.Shed == 0 || st.Errors == 0 {
+		t.Errorf("outcome classes not all exercised: %+v", st)
+	}
+}
+
+func TestRunLoadHonorsCallerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	st := RunLoad(ctx, LoadOptions{Conns: 2, Duration: 10 * time.Second}, func(ctx context.Context) (LoadOutcome, int) {
+		return LoadOK, 1
+	})
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled run took %s", el)
+	}
+	_ = st
+}
+
+// singleEntryReqs slices a corpus into one-entry requests — the serving
+// tier's common case and the pipelined runner's request unit.
+func singleEntryReqs(s core.Scheme, n int, seed int64) [][]bitvec.V288 {
+	flat := corpus(s, n, seed)
+	reqs := make([][]bitvec.V288, n)
+	for i := range reqs {
+		reqs[i] = flat[i : i+1]
+	}
+	return reqs
+}
+
+func TestRunLoadPipelinedClosedLoop(t *testing.T) {
+	s := core.NewDuetECC()
+	svc, err := New(testConfig(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	st := RunLoadPipelined(context.Background(), svc, s.Name(), singleEntryReqs(s, 8, 7),
+		LoadOptions{Duration: 200 * time.Millisecond})
+	if !st.Closed || st.OfferedRate != 0 {
+		t.Errorf("closed-loop run reports %+v", st)
+	}
+	if st.Completed == 0 || st.Errors != 0 || st.Shed != 0 {
+		t.Errorf("closed loop inside the window must complete everything: %+v", st)
+	}
+	if st.Offered != st.Issued || st.Completed+st.Shed+st.Errors != st.Issued {
+		t.Errorf("accounting: offered %d issued %d completed %d shed %d errors %d",
+			st.Offered, st.Issued, st.Completed, st.Shed, st.Errors)
+	}
+	if st.Entries != st.Completed {
+		t.Errorf("entries %d, want %d (one per request)", st.Entries, st.Completed)
+	}
+	if st.P50MS <= 0 || st.P50MS > st.P99MS {
+		t.Errorf("percentiles out of order: %+v", st)
+	}
+}
+
+// sleepDecoder throttles every decode dispatch — a stand-in for an
+// expensive engine so an open-loop run can overwhelm a tiny queue.
+type sleepDecoder struct {
+	bd    core.BatchDecoder
+	delay time.Duration
+}
+
+func (d sleepDecoder) DecodeWireBatch(recv []bitvec.V288, out []core.WireResult) {
+	time.Sleep(d.delay)
+	d.bd.DecodeWireBatch(recv, out)
+}
+
+func TestRunLoadPipelinedOpenLoopShedsUnderOverload(t *testing.T) {
+	s := core.NewDuetECC()
+	cfg := testConfig(s)
+	cfg.MaxBatch = 1
+	cfg.MaxQueue = 8
+	cfg.DecoderFor = func(sc core.Scheme) core.BatchDecoder {
+		return sleepDecoder{bd: core.AsBatchDecoder(sc), delay: 200 * time.Microsecond}
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Capacity is ~5k req/s; offer 10x that. Admission control (queue 8)
+	// must shed the excess rather than let the backlog grow.
+	st := RunLoadPipelined(context.Background(), svc, s.Name(), singleEntryReqs(s, 8, 7),
+		LoadOptions{Duration: 300 * time.Millisecond, Rate: 50_000})
+	if st.Closed {
+		t.Errorf("open-loop run reports %+v", st)
+	}
+	if st.Completed == 0 || st.Shed == 0 {
+		t.Errorf("overload must both serve and shed: %+v", st)
+	}
+	if st.Errors != 0 {
+		t.Errorf("%d errors under clean overload", st.Errors)
+	}
+	if st.Issued+st.Overruns != st.Offered || st.Completed+st.Shed+st.Errors != st.Issued {
+		t.Errorf("accounting: offered %d issued %d overruns %d completed %d shed %d errors %d",
+			st.Offered, st.Issued, st.Overruns, st.Completed, st.Shed, st.Errors)
+	}
+}
+
+func TestLatHistQuantiles(t *testing.T) {
+	var h latHist
+	for i := 0; i < 100; i++ {
+		h.observe(time.Millisecond)
+	}
+	h.observe(100 * time.Millisecond)
+
+	if p50 := h.quantile(0.50); p50 < 0.7 || p50 > 1.4 {
+		t.Errorf("p50 = %.3fms, want ~1ms", p50)
+	}
+	if p99 := h.quantile(0.99); p99 < 0.7 || p99 > 1.4 {
+		t.Errorf("p99 = %.3fms, want ~1ms (100/101 observations at 1ms)", p99)
+	}
+	if q := h.quantile(1.0); q < 70 || q > 140 {
+		t.Errorf("p100 = %.3fms, want ~100ms", q)
+	}
+	if mx := float64(h.max.Load()) / 1e6; mx != 100 {
+		t.Errorf("max = %.3fms, want 100ms", mx)
+	}
+	// Sub-microsecond observations land in bucket 0 without panicking.
+	h.observe(0)
+	h.observe(-time.Second)
+}

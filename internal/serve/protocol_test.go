@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/core"
+)
+
+func TestEntryHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		var v bitvec.V288
+		for b := 0; b < bitvec.EntryBytes; b++ {
+			v = v.SetByte(b, byte(rng.Intn(256)))
+		}
+		s := FormatEntry(v)
+		if len(s) != 2*bitvec.EntryBytes {
+			t.Fatalf("FormatEntry length %d", len(s))
+		}
+		got, err := ParseEntry(s)
+		if err != nil || got != v {
+			t.Fatalf("round trip: %v -> %v (err %v)", v, got, err)
+		}
+	}
+	if _, err := ParseEntry("zz"); err == nil {
+		t.Error("short non-hex entry accepted")
+	}
+	if _, err := ParseEntry(strings.Repeat("g", 72)); err == nil {
+		t.Error("non-hex entry accepted")
+	}
+}
+
+func TestDecodeRequestValidation(t *testing.T) {
+	good := `{"scheme":"DuetECC","entries":["` + strings.Repeat("0", 72) + `"]}`
+	if _, err := DecodeDecodeRequest([]byte(good)); err != nil {
+		t.Fatalf("good request rejected: %v", err)
+	}
+	bad := []string{
+		`{"scheme":"","entries":["` + strings.Repeat("0", 72) + `"]}`,              // empty scheme
+		`{"scheme":"DuetECC","entries":[]}`,                                        // no entries
+		`{"scheme":"DuetECC","entries":["abc"]}`,                                   // short entry
+		`{"scheme":"DuetECC","entries":["` + strings.Repeat("g", 72) + `"]}`,       // non-hex
+		`{"scheme":"DuetECC","entries":["` + strings.Repeat("0", 72) + `"],"x":1}`, // unknown field
+		good + ` trailing`, // trailing garbage
+		`{"scheme":"` + strings.Repeat("s", MaxSchemeName+1) + `","entries":["` + strings.Repeat("0", 72) + `"]}`,
+	}
+	for _, b := range bad {
+		if _, err := DecodeDecodeRequest([]byte(b)); err == nil {
+			t.Errorf("accepted bad frame: %.60s", b)
+		}
+	}
+	// Oversized batch.
+	entries := make([]string, MaxRequestEntries+1)
+	for i := range entries {
+		entries[i] = strings.Repeat("0", 72)
+	}
+	req := DecodeRequest{Scheme: "DuetECC", Entries: entries}
+	if err := req.Validate(); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	// Oversized frame rejected before decode.
+	if _, err := DecodeDecodeRequest(make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestEntryResultOfAndResponseValidation(t *testing.T) {
+	s := core.NewDuetECC()
+	var data [bitvec.DataBytes]byte
+	for i := range data {
+		data[i] = byte(i)
+	}
+	wire := s.Encode(data)
+
+	clean := EntryResultOf(s, s.DecodeWire(wire))
+	if clean.Status != StatusOK || clean.Data != FormatData(data) || clean.CorrectedBits != 0 {
+		t.Fatalf("clean result = %+v", clean)
+	}
+	corr := EntryResultOf(s, s.DecodeWire(wire.FlipBit(17)))
+	if corr.Status != StatusCorrected || corr.Data != FormatData(data) || corr.CorrectedBits == 0 {
+		t.Fatalf("corrected result = %+v", corr)
+	}
+
+	resp := DecodeResponse{Scheme: s.Name(), Results: []EntryResult{clean, corr}}
+	if err := resp.Validate(); err != nil {
+		t.Fatalf("good response rejected: %v", err)
+	}
+	resp.Results[0].Status = "weird"
+	if err := resp.Validate(); err == nil {
+		t.Error("bad status accepted")
+	}
+	resp.Results[0] = EntryResult{Status: StatusDetected, Data: FormatData(data)}
+	if err := resp.Validate(); err == nil {
+		t.Error("detected-with-data accepted")
+	}
+	resp.Results[0] = EntryResult{Status: StatusOK, Data: "1234"}
+	if err := resp.Validate(); err == nil {
+		t.Error("short data accepted")
+	}
+}

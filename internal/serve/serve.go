@@ -1,0 +1,675 @@
+// Package serve is the online decode tier: it turns the batch-decoder
+// fast path (internal/core) into a live service that survives bursty
+// traffic. Requests for a scheme land in a bounded per-scheme queue; a
+// dynamic micro-batcher coalesces them — flushing on max_batch entries
+// or max_wait, whichever comes first — and drains them through
+// core.AsBatchDecoder, so concurrent single-entry requests are decoded
+// at amortized batch cost instead of paying a worker wakeup and a
+// dynamic dispatch each.
+//
+// The tier is built to shed rather than collapse:
+//
+//   - admission control bounds the queue in entries; past the budget a
+//     request is rejected immediately with a Retry-After hint instead of
+//     queueing unboundedly (HTTP surfaces map this to 503);
+//   - every request carries a deadline; requests that expire while
+//     queued are answered with a shed error, so accepted requests keep
+//     their latency bound even under overload;
+//   - a cancelled request context (client disconnect) releases the
+//     request without decoding it;
+//   - a scheme whose decoder faults repeatedly is degraded to
+//     detect-only by a resilience.DegradeGuard — its requests still get
+//     answers (status detected, data withheld) instead of the fault
+//     taking the whole server down.
+//
+// Every request is guaranteed exactly one terminal outcome — a decoded
+// reply, a shed, or a cancellation — including across a mid-flight
+// Close; the delivery path panics on a double send by construction.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/ecc"
+	"hbm2ecc/internal/obs"
+	"hbm2ecc/internal/resilience"
+)
+
+// Config parametrizes a Service. The zero value selects production
+// defaults for every field.
+type Config struct {
+	// Schemes is the served corpus (default core.Table2Schemes()).
+	Schemes []core.Scheme
+	// MaxBatch is the micro-batcher's flush threshold in entries
+	// (default 256, the chunk size the Monte-Carlo evaluator uses).
+	// MaxBatch 1 disables coalescing: every request is decoded alone
+	// with the single-shot decoder — the "single-request-per-decode"
+	// baseline cmd/bench -serve compares against.
+	MaxBatch int
+	// MaxWait is how long the batcher holds an underfull batch open for
+	// more arrivals before flushing (default 200µs).
+	MaxWait time.Duration
+	// MaxQueue bounds each scheme's queue in entries; admission control
+	// sheds past it (default 4096).
+	MaxQueue int
+	// Workers is the number of decode workers per scheme (default 1 —
+	// one batcher goroutine per scheme keeps its tables hot; raise it
+	// when schemes are few and cores are many).
+	Workers int
+	// Deadline is the default per-request deadline measured from
+	// admission (default 50ms). A tighter request context wins.
+	Deadline time.Duration
+	// RetryAfter is the backoff hint attached to shed responses
+	// (default 100ms).
+	RetryAfter time.Duration
+	// DegradeBudget is the number of recovered decoder faults a scheme
+	// tolerates before it is degraded to detect-only (default 8).
+	DegradeBudget int
+	// Registry receives the serve_* metrics (default obs.Default).
+	Registry *obs.Registry
+
+	// DecoderFor overrides the batch-decoder construction (default
+	// core.AsBatchDecoder). Tests use it for fault injection and
+	// slow-decoder scheduling; cmd/bench -serve uses it to model a
+	// hardware ECC engine's per-dispatch transaction cost.
+	DecoderFor func(core.Scheme) core.BatchDecoder
+}
+
+func (c *Config) defaults() {
+	if len(c.Schemes) == 0 {
+		c.Schemes = core.Table2Schemes()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 200 * time.Microsecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 50 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 100 * time.Millisecond
+	}
+	if c.DegradeBudget <= 0 {
+		c.DegradeBudget = 8
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default
+	}
+	if c.DecoderFor == nil {
+		c.DecoderFor = core.AsBatchDecoder
+	}
+}
+
+// ErrShutdown is returned for requests that arrive after Close, and
+// delivered to requests still queued when Close drains them.
+var ErrShutdown = errors.New("serve: service shutting down")
+
+// OverloadError is a shed: the request was rejected (admission control)
+// or expired in queue (deadline), and the client should back off for
+// RetryAfter before retrying. HTTP surfaces map it to 503 + Retry-After.
+type OverloadError struct {
+	// Reason is "queue" (admission control) or "deadline" (expired
+	// before a worker reached it).
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// IsShed reports whether err is a load-shedding outcome.
+func IsShed(err error) bool {
+	var oe *OverloadError
+	return errors.As(err, &oe)
+}
+
+// Reply is a successfully served request.
+type Reply struct {
+	// Results holds one decode outcome per submitted entry, in order.
+	Results []core.WireResult
+	// Degraded marks a detect-only answer from a degraded scheme: every
+	// result is Detected and no correction was attempted.
+	Degraded bool
+	// BatchEntries is the total entry count of the decode call that
+	// served this request (>= len(Results) when micro-batching
+	// coalesced it with neighbours) — an observability aid.
+	BatchEntries int
+}
+
+// reply is the single terminal outcome delivered to a span.
+type reply struct {
+	res      []core.WireResult
+	degraded bool
+	batch    int
+	err      error
+}
+
+// span is one in-flight request: the unit the queue and batcher move.
+type span struct {
+	ctx       context.Context
+	entries   []bitvec.V288
+	start     time.Time
+	deadline  time.Time
+	done      chan reply
+	delivered atomic.Bool
+}
+
+// deliver sends sp's unique terminal outcome. A second delivery is a
+// bug in the batcher's state machine and panics loudly rather than
+// corrupting a response.
+func (sp *span) deliver(r reply) {
+	if !sp.delivered.CompareAndSwap(false, true) {
+		panic("serve: double delivery to one request")
+	}
+	sp.done <- r // cap 1: never blocks
+}
+
+// spanPool recycles spans (and their reply channels) between requests.
+// A span may be pooled only once its delivery has been consumed: the
+// waiter that received on sp.done is the last reference holder, so the
+// channel is empty and no worker can touch the span again. Spans
+// abandoned by a cancelled waiter are never pooled — the in-flight
+// delivery still owns them — and fall to the garbage collector.
+var spanPool = sync.Pool{
+	New: func() any {
+		return &span{done: make(chan reply, 1)}
+	},
+}
+
+// schemeServer is one scheme's queue, decoder, and degrade state.
+type schemeServer struct {
+	name   string
+	scheme core.Scheme
+	bd     core.BatchDecoder
+	queue  chan *span
+	queued atomic.Int64 // entries admitted and not yet dequeued
+
+	guardMu  sync.Mutex
+	guard    *resilience.DegradeGuard
+	degraded atomic.Bool
+
+	mQueue    *obs.Gauge
+	mDegGauge *obs.Gauge
+	mBatch    *obs.Histogram
+	mEntries  *obs.Counter
+	mFaults   *obs.Counter
+	mLatency  *obs.Histogram
+	mOK       *obs.Counter
+	mShedQ    *obs.Counter
+	mShedD    *obs.Counter
+	mCancel   *obs.Counter
+	mClose    *obs.Counter
+}
+
+// Service is the online decode engine. Construct with New, serve with
+// Decode (or the HTTP surface from Handler), stop with Close.
+type Service struct {
+	cfg     Config
+	names   []string
+	schemes map[string]*schemeServer
+
+	admit  sync.RWMutex // read-held across enqueue; write-held to close
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	start time.Time
+}
+
+// batchBuckets sizes the batch-entries histogram (powers of two through
+// the largest coalesced batch).
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// latencyBuckets spans 10µs..1s, the range between a warm in-process
+// decode and a hopeless overload.
+var latencyBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// New builds and starts a Service: per-scheme queues and micro-batcher
+// workers are running when it returns.
+func New(cfg Config) (*Service, error) {
+	cfg.defaults()
+	s := &Service{
+		cfg:     cfg,
+		schemes: make(map[string]*schemeServer, len(cfg.Schemes)),
+		stop:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	reg := cfg.Registry
+	mQueue := reg.Gauge("serve_queue_entries", "Entries admitted and waiting for a decode worker.", "scheme")
+	mBatch := reg.Histogram("serve_batch_entries", "Entries per micro-batched decode call.", batchBuckets, "scheme")
+	mEntries := reg.Counter("serve_entries_decoded_total", "Entries decoded by the serving tier.", "scheme")
+	mFaults := reg.Counter("serve_decode_faults_total", "Recovered decoder faults (panics) per scheme.", "scheme")
+	mLatency := reg.Histogram("serve_request_latency_seconds", "Admission-to-reply latency of completed requests.", latencyBuckets, "scheme")
+	mReq := reg.Counter("serve_requests_total", "Requests by terminal outcome.", "scheme", "outcome")
+	mShed := reg.Counter("serve_shed_total", "Requests shed instead of served.", "scheme", "reason")
+	mDegraded := reg.Gauge("serve_degraded", "1 when the scheme is degraded to detect-only.", "scheme")
+	for _, sc := range cfg.Schemes {
+		name := sc.Name()
+		if _, dup := s.schemes[name]; dup {
+			return nil, fmt.Errorf("serve: duplicate scheme %q", name)
+		}
+		ss := &schemeServer{
+			name:   name,
+			scheme: sc,
+			bd:     cfg.DecoderFor(sc),
+			queue:  make(chan *span, cfg.MaxQueue),
+			guard:  resilience.NewDegradeGuard(cfg.DegradeBudget),
+
+			mQueue:    mQueue.With(name),
+			mDegGauge: mDegraded.With(name),
+			mBatch:    mBatch.With(name),
+			mEntries:  mEntries.With(name),
+			mFaults:   mFaults.With(name),
+			mLatency:  mLatency.With(name),
+			mOK:       mReq.With(name, "ok"),
+			mShedQ:    mShed.With(name, "queue"),
+			mShedD:    mShed.With(name, "deadline"),
+			mCancel:   mReq.With(name, "canceled"),
+			mClose:    mReq.With(name, "shutdown"),
+		}
+		ss.mDegGauge.Set(0)
+		s.schemes[name] = ss
+		s.names = append(s.names, name)
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker(ss)
+		}
+	}
+	return s, nil
+}
+
+// Names returns the served scheme names in construction order.
+func (s *Service) Names() []string { return append([]string(nil), s.names...) }
+
+// SchemeStatus is one scheme's serving state.
+type SchemeStatus struct {
+	Name string `json:"name"`
+	// Degraded means the scheme answers detect-only.
+	Degraded bool `json:"degraded"`
+	// Faults is the number of recovered decoder faults.
+	Faults uint64 `json:"faults"`
+	// CorrectsPins mirrors the scheme's organization property.
+	CorrectsPins bool `json:"corrects_pins"`
+	// QueuedEntries is the current queue depth in entries.
+	QueuedEntries int64 `json:"queued_entries"`
+}
+
+// Status returns the per-scheme serving state in construction order.
+func (s *Service) Status() []SchemeStatus {
+	out := make([]SchemeStatus, 0, len(s.names))
+	for _, name := range s.names {
+		ss := s.schemes[name]
+		out = append(out, SchemeStatus{
+			Name:          name,
+			Degraded:      ss.degraded.Load(),
+			Faults:        ss.mFaults.Value(),
+			CorrectsPins:  ss.scheme.CorrectsPins(),
+			QueuedEntries: ss.queued.Load(),
+		})
+	}
+	return out
+}
+
+// Decode serves one request: entries are admitted into scheme's queue,
+// micro-batched, decoded, and the results returned in order. The error
+// is nil (decoded reply, possibly degraded), an *OverloadError (shed:
+// back off RetryAfter), ErrShutdown, ctx.Err() (caller cancelled), or a
+// plain error for malformed calls (unknown scheme, no entries).
+func (s *Service) Decode(ctx context.Context, scheme string, entries []bitvec.V288) (Reply, error) {
+	ss, sp, err := s.submit(ctx, scheme, entries)
+	if err != nil {
+		return Reply{}, err
+	}
+	return wait(ctx, ss, sp)
+}
+
+// Ticket is a pending request handed back by Submit: the asynchronous
+// half of Decode. A pipelined client keeps a window of tickets in
+// flight — submitting new requests while earlier ones are still being
+// micro-batched — instead of parking a goroutine per request. Wait must
+// be called exactly once per ticket.
+type Ticket struct {
+	ss *schemeServer
+	sp *span
+}
+
+// Submit admits one request into scheme's queue and returns without
+// waiting for the decode. The error cases are the admission-time subset
+// of Decode's: *OverloadError (queue full), ErrShutdown, ctx already
+// cancelled, or a malformed call. Redeem the ticket with Wait.
+func (s *Service) Submit(ctx context.Context, scheme string, entries []bitvec.V288) (Ticket, error) {
+	ss, sp, err := s.submit(ctx, scheme, entries)
+	if err != nil {
+		return Ticket{}, err
+	}
+	return Ticket{ss: ss, sp: sp}, nil
+}
+
+// Wait blocks until the submitted request's terminal outcome and
+// returns it, exactly like the tail of Decode. ctx bounds the wait;
+// pass the Submit context (or one derived from it) so the batcher's
+// cancel-on-disconnect view agrees with the waiter's.
+func (tk Ticket) Wait(ctx context.Context) (Reply, error) {
+	return wait(ctx, tk.ss, tk.sp)
+}
+
+// submit validates, stamps, and admits one request; the returned span
+// is queued and owes the caller exactly one delivery on sp.done.
+func (s *Service) submit(ctx context.Context, scheme string, entries []bitvec.V288) (*schemeServer, *span, error) {
+	ss, ok := s.schemes[scheme]
+	if !ok {
+		return nil, nil, fmt.Errorf("serve: unknown scheme %q", scheme)
+	}
+	if len(entries) == 0 {
+		return nil, nil, errors.New("serve: empty request")
+	}
+	if len(entries) > MaxRequestEntries {
+		return nil, nil, fmt.Errorf("serve: %d entries in one request (max %d)", len(entries), MaxRequestEntries)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	start := time.Now()
+	deadline := start.Add(s.cfg.Deadline)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	sp := spanPool.Get().(*span)
+	sp.ctx = ctx
+	sp.entries = entries
+	sp.start = start
+	sp.deadline = deadline
+	sp.delivered.Store(false)
+
+	// Admission: the read lock makes enqueue atomic with respect to
+	// Close's drain; the entry counter is the shedding budget.
+	s.admit.RLock()
+	if s.closed {
+		s.admit.RUnlock()
+		return nil, nil, ErrShutdown
+	}
+	n := int64(len(entries))
+	if q := ss.queued.Add(n); q > int64(s.cfg.MaxQueue) {
+		ss.queued.Add(-n)
+		s.admit.RUnlock()
+		ss.mShedQ.Inc()
+		return nil, nil, &OverloadError{Reason: "queue", RetryAfter: s.cfg.RetryAfter}
+	}
+	ss.mQueue.Set(float64(ss.queued.Load()))
+	select {
+	case ss.queue <- sp:
+	default:
+		// Unreachable while the channel capacity matches MaxQueue
+		// (every span holds >= 1 entry), kept as defense in depth.
+		ss.queued.Add(-n)
+		s.admit.RUnlock()
+		ss.mShedQ.Inc()
+		return nil, nil, &OverloadError{Reason: "queue", RetryAfter: s.cfg.RetryAfter}
+	}
+	s.admit.RUnlock()
+	return ss, sp, nil
+}
+
+// wait is the delivery half of Decode: one terminal outcome per span.
+func wait(ctx context.Context, ss *schemeServer, sp *span) (Reply, error) {
+	if ctx.Done() == nil {
+		// No cancellation to watch (context.Background and friends): a
+		// plain receive skips the select machinery on the hottest path.
+		r := <-sp.done
+		return finish(ss, sp, r)
+	}
+	select {
+	case r := <-sp.done:
+		return finish(ss, sp, r)
+	case <-ctx.Done():
+		// The span stays queued; a worker (or the Close drain) will
+		// observe the cancelled context and release it without
+		// decoding. The buffered done channel keeps that send from
+		// blocking or leaking.
+		ss.mCancel.Inc()
+		return Reply{}, ctx.Err()
+	}
+}
+
+func finish(ss *schemeServer, sp *span, r reply) (Reply, error) {
+	start := sp.start
+	sp.ctx, sp.entries = nil, nil // drop references before pooling
+	spanPool.Put(sp)
+	if r.err != nil {
+		return Reply{}, r.err
+	}
+	ss.mLatency.Observe(time.Since(start).Seconds())
+	return Reply{Results: r.res, Degraded: r.degraded, BatchEntries: r.batch}, nil
+}
+
+// worker is one micro-batcher loop: take a first span, hold the batch
+// open until MaxBatch entries or MaxWait elapse, then decode the batch
+// and deliver each span's slice of the results.
+func (s *Service) worker(ss *schemeServer) {
+	defer s.wg.Done()
+	maxBatch := s.cfg.MaxBatch
+	spans := make([]*span, 0, 64)
+	buf := make([]bitvec.V288, 0, maxBatch+MaxRequestEntries)
+	out := make([]core.WireResult, maxBatch+MaxRequestEntries)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var sp *span
+		select {
+		case sp = <-ss.queue:
+			// Hot-queue fast path: skip the full select when work is
+			// already waiting.
+		default:
+			select {
+			case <-s.stop:
+				return
+			case sp = <-ss.queue:
+			}
+		}
+		spans = append(spans[:0], sp)
+		n := len(sp.entries)
+		if maxBatch > 1 {
+			// First drain whatever is already queued — non-blocking
+			// receives, no timer arming, no scheduler round trips. Only
+			// an underfull batch with an empty queue holds the batch
+			// open for MaxWait.
+		drain:
+			for n < maxBatch {
+				select {
+				case sp2 := <-ss.queue:
+					spans = append(spans, sp2)
+					n += len(sp2.entries)
+				default:
+					break drain
+				}
+			}
+			if n < maxBatch {
+				timer.Reset(s.cfg.MaxWait)
+			collect:
+				for n < maxBatch {
+					select {
+					case sp2 := <-ss.queue:
+						spans = append(spans, sp2)
+						n += len(sp2.entries)
+					case <-timer.C:
+						break collect
+					case <-s.stop:
+						break collect
+					}
+				}
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+			}
+		}
+		s.serveBatch(ss, spans, buf[:0], out)
+	}
+}
+
+// serveBatch resolves one collected batch: released cancelled and
+// expired spans, decodes the rest in a single batch call, and delivers
+// every span exactly one outcome.
+func (s *Service) serveBatch(ss *schemeServer, spans []*span, buf []bitvec.V288, out []core.WireResult) {
+	now := time.Now()
+	live := spans[:0]
+	for _, sp := range spans {
+		ss.queued.Add(-int64(len(sp.entries)))
+		switch {
+		case sp.ctx.Err() != nil:
+			sp.deliver(reply{err: sp.ctx.Err()})
+		case now.After(sp.deadline):
+			ss.mShedD.Inc()
+			sp.deliver(reply{err: &OverloadError{Reason: "deadline", RetryAfter: s.cfg.RetryAfter}})
+		default:
+			live = append(live, sp)
+		}
+	}
+	ss.mQueue.Set(float64(ss.queued.Load()))
+	if len(live) == 0 {
+		return
+	}
+
+	if ss.degraded.Load() {
+		for _, sp := range live {
+			sp.deliver(reply{res: detectOnly(sp.entries), degraded: true, batch: len(sp.entries)})
+		}
+		return
+	}
+
+	for _, sp := range live {
+		buf = append(buf, sp.entries...)
+	}
+	total := len(buf)
+	ss.mBatch.Observe(float64(total))
+	if !s.decodeBatch(ss, buf, out[:total]) {
+		// The batch decoder faulted; isolate the poison entries by
+		// decoding per entry with the single-shot decoder, answering
+		// detect-only for entries that fault individually.
+		for i, e := range buf {
+			out[i] = s.decodeOne(ss, e)
+		}
+	}
+	degraded := ss.degraded.Load() // faults above may have tripped the guard
+	// One backing array serves the whole batch: every span gets a
+	// full-capacity sub-slice (no append can bleed into a neighbour),
+	// so the allocation is amortized across the coalesced requests.
+	resAll := make([]core.WireResult, total)
+	copy(resAll, out[:total])
+	off := 0
+	for _, sp := range live {
+		end := off + len(sp.entries)
+		res := resAll[off:end:end]
+		off = end
+		if degraded {
+			// Tripped mid-batch: stay consistent with the scheme's new
+			// detect-only contract rather than leaking a last
+			// corrected answer.
+			res = detectOnly(sp.entries)
+		}
+		ss.mEntries.Add(uint64(len(sp.entries)))
+		ss.mOK.Inc()
+		sp.deliver(reply{res: res, degraded: degraded, batch: total})
+	}
+}
+
+// decodeBatch runs one batch decode call, converting a decoder panic
+// into a recorded fault. It reports whether the batch succeeded.
+func (s *Service) decodeBatch(ss *schemeServer, buf []bitvec.V288, out []core.WireResult) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordFault(ss)
+			ok = false
+		}
+	}()
+	ss.bd.DecodeWireBatch(buf, out)
+	return true
+}
+
+// decodeOne decodes a single entry with the scheme's single-shot
+// decoder, answering detect-only if it faults.
+func (s *Service) decodeOne(ss *schemeServer, e bitvec.V288) (wr core.WireResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordFault(ss)
+			wr = core.WireResult{Wire: e, Status: ecc.Detected}
+		}
+	}()
+	return ss.scheme.DecodeWire(e)
+}
+
+// recordFault counts one recovered decoder fault against the scheme's
+// degrade budget, flipping it to detect-only when the budget runs out.
+func (s *Service) recordFault(ss *schemeServer) {
+	ss.mFaults.Inc()
+	ss.guardMu.Lock()
+	tripped := ss.guard.RecordDUE()
+	ss.guardMu.Unlock()
+	if tripped {
+		ss.degraded.Store(true)
+		ss.mDegGauge.Set(1)
+	}
+}
+
+// detectOnly is the degraded answer: every entry reported detected,
+// wire image returned unmodified, no correction claimed.
+func detectOnly(entries []bitvec.V288) []core.WireResult {
+	res := make([]core.WireResult, len(entries))
+	for i, e := range entries {
+		res[i] = core.WireResult{Wire: e, Status: ecc.Detected}
+	}
+	return res
+}
+
+// Close stops the service: new requests get ErrShutdown, workers finish
+// the batches they hold (delivering their replies), and every span
+// still queued is drained with ErrShutdown. Safe to call more than
+// once; returns after every in-flight request has its outcome.
+func (s *Service) Close() {
+	s.once.Do(func() {
+		s.admit.Lock()
+		s.closed = true
+		s.admit.Unlock()
+		close(s.stop)
+		s.wg.Wait()
+		for _, name := range s.names {
+			ss := s.schemes[name]
+			for drained := false; !drained; {
+				select {
+				case sp := <-ss.queue:
+					ss.queued.Add(-int64(len(sp.entries)))
+					ss.mClose.Inc()
+					sp.deliver(reply{err: ErrShutdown})
+				default:
+					drained = true
+				}
+			}
+			ss.mQueue.Set(float64(ss.queued.Load()))
+		}
+	})
+}

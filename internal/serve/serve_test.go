@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/ecc"
+	"hbm2ecc/internal/errormodel"
+	"hbm2ecc/internal/obs"
+)
+
+// testConfig returns a config with a private registry so tests don't
+// pollute (or race on) the process-wide Default.
+func testConfig(schemes ...core.Scheme) Config {
+	return Config{Schemes: schemes, Registry: obs.NewRegistry()}
+}
+
+// corpus draws received words for a scheme: clean and corrupted by the
+// sampled Monte-Carlo classes.
+func corpus(s core.Scheme, n int, seed int64) []bitvec.V288 {
+	rng := rand.New(rand.NewSource(seed))
+	smp := errormodel.NewSampler(seed)
+	classes := []errormodel.Pattern{errormodel.Bits3, errormodel.Beat1, errormodel.Entry1}
+	out := make([]bitvec.V288, n)
+	for i := range out {
+		var data [bitvec.DataBytes]byte
+		rng.Read(data[:])
+		wire := s.Encode(data)
+		if rng.Intn(4) != 0 {
+			wire = wire.Xor(smp.Sample(classes[rng.Intn(len(classes))]))
+		}
+		out[i] = wire
+	}
+	return out
+}
+
+// TestDecodeMatchesDirect is the differential lock: for every Table-2
+// scheme, concurrent micro-batched serving returns exactly what a
+// direct DecodeWire call returns, entry for entry.
+func TestDecodeMatchesDirect(t *testing.T) {
+	schemes := core.Table2Schemes()
+	svc, err := New(testConfig(schemes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, len(schemes))
+	for _, s := range schemes {
+		wg.Add(1)
+		go func(s core.Scheme) {
+			defer wg.Done()
+			words := corpus(s, 200, 42)
+			// Issue in small spans so coalescing has something to do.
+			for off := 0; off < len(words); off += 5 {
+				span := words[off : off+5]
+				reply, err := svc.Decode(context.Background(), s.Name(), span)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if reply.Degraded {
+					errc <- errors.New(s.Name() + ": unexpectedly degraded")
+					return
+				}
+				for i, wr := range reply.Results {
+					want := s.DecodeWire(span[i])
+					if wr.Status != want.Status || wr.Wire != want.Wire || wr.CorrectedBits != want.CorrectedBits {
+						errc <- errors.New(s.Name() + ": served result differs from direct decode")
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// slowDecoder wraps a decoder, sleeping per call — enough for the
+// batcher to accumulate a backlog deterministically.
+type slowDecoder struct {
+	core.BatchDecoder
+	delay time.Duration
+}
+
+func (d slowDecoder) DecodeWireBatch(recv []bitvec.V288, out []core.WireResult) {
+	time.Sleep(d.delay)
+	d.BatchDecoder.DecodeWireBatch(recv, out)
+}
+
+func TestMicroBatchCoalesces(t *testing.T) {
+	s := core.NewDuetECC()
+	cfg := testConfig(s)
+	cfg.Workers = 1
+	cfg.MaxWait = 5 * time.Millisecond
+	cfg.DecoderFor = func(sc core.Scheme) core.BatchDecoder {
+		return slowDecoder{core.AsBatchDecoder(sc), 2 * time.Millisecond}
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	words := corpus(s, 32, 7)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	maxBatch := 0
+	for _, w := range words {
+		wg.Add(1)
+		go func(w bitvec.V288) {
+			defer wg.Done()
+			reply, err := svc.Decode(context.Background(), s.Name(), []bitvec.V288{w})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if reply.BatchEntries > maxBatch {
+				maxBatch = reply.BatchEntries
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if maxBatch < 2 {
+		t.Fatalf("no request was served from a coalesced batch (max batch %d)", maxBatch)
+	}
+}
+
+// gateDecoder signals on entered when a decode call starts, then blocks
+// until released via gate — pinning the single worker at a known point
+// so the queue fills deterministically.
+type gateDecoder struct {
+	core.BatchDecoder
+	entered chan struct{} // buffered: late decodes must not wedge on it
+	gate    chan struct{}
+}
+
+func (d gateDecoder) DecodeWireBatch(recv []bitvec.V288, out []core.WireResult) {
+	d.entered <- struct{}{}
+	<-d.gate
+	d.BatchDecoder.DecodeWireBatch(recv, out)
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	s := core.NewDuetECC()
+	entered := make(chan struct{}, 16)
+	gate := make(chan struct{})
+	cfg := testConfig(s)
+	cfg.Workers = 1
+	cfg.MaxBatch = 1 // no coalescing: the worker holds exactly one span
+	cfg.MaxQueue = 4
+	cfg.DecoderFor = func(sc core.Scheme) core.BatchDecoder {
+		return gateDecoder{core.AsBatchDecoder(sc), entered, gate}
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	words := corpus(s, 8, 9)
+	// First request occupies the worker (dequeued, blocked in decode)...
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Decode(context.Background(), s.Name(), words[:1])
+		firstDone <- err
+	}()
+	<-entered // the worker now holds the first request at the gate
+	// ...the next four fill the queue budget...
+	var wg sync.WaitGroup
+	queuedDone := make(chan error, 4)
+	for i := 1; i <= 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := svc.Decode(context.Background(), s.Name(), words[i:i+1])
+			queuedDone <- err
+		}(i)
+	}
+	waitQueued(t, svc, s.Name(), 4)
+	// ...and the fifth is shed with a Retry-After hint.
+	_, err = svc.Decode(context.Background(), s.Name(), words[5:6])
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue" {
+		t.Fatalf("overflow request: err = %v, want queue OverloadError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("shed without a Retry-After hint: %+v", oe)
+	}
+	if !IsShed(err) {
+		t.Fatal("IsShed does not recognize an OverloadError")
+	}
+
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	wg.Wait()
+	close(queuedDone)
+	for err := range queuedDone {
+		if err != nil {
+			t.Errorf("queued request: %v", err)
+		}
+	}
+}
+
+// waitQueued polls until the scheme's queue depth reaches want entries.
+func waitQueued(t *testing.T, svc *Service, scheme string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, st := range svc.Status() {
+			if st.Name == scheme && st.QueuedEntries == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d: %+v", want, svc.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDeadlineExpiryInQueueSheds(t *testing.T) {
+	s := core.NewDuetECC()
+	entered := make(chan struct{}, 16)
+	gate := make(chan struct{})
+	cfg := testConfig(s)
+	cfg.Workers = 1
+	cfg.MaxBatch = 1
+	cfg.Deadline = 10 * time.Millisecond
+	cfg.DecoderFor = func(sc core.Scheme) core.BatchDecoder {
+		return gateDecoder{core.AsBatchDecoder(sc), entered, gate}
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	words := corpus(s, 2, 11)
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Decode(context.Background(), s.Name(), words[:1])
+		firstDone <- err
+	}()
+	<-entered // the worker holds the first request before its deadline
+	secondDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Decode(context.Background(), s.Name(), words[1:2])
+		secondDone <- err
+	}()
+	waitQueued(t, svc, s.Name(), 1)
+	time.Sleep(3 * cfg.Deadline) // let the second request expire in queue
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	err = <-secondDone
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "deadline" {
+		t.Fatalf("expired request: err = %v, want deadline OverloadError", err)
+	}
+}
+
+func TestCancelledContextReleasesRequest(t *testing.T) {
+	s := core.NewDuetECC()
+	entered := make(chan struct{}, 16)
+	gate := make(chan struct{})
+	cfg := testConfig(s)
+	cfg.Workers = 1
+	cfg.MaxBatch = 1
+	cfg.DecoderFor = func(sc core.Scheme) core.BatchDecoder {
+		return gateDecoder{core.AsBatchDecoder(sc), entered, gate}
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	words := corpus(s, 2, 13)
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Decode(context.Background(), s.Name(), words[:1])
+		firstDone <- err
+	}()
+	<-entered // the worker now holds the first request at the gate
+
+	ctx, cancel := context.WithCancel(context.Background())
+	secondDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Decode(ctx, s.Name(), words[1:2])
+		secondDone <- err
+	}()
+	waitQueued(t, svc, s.Name(), 1)
+	cancel()
+	if err := <-secondDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request: err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	// The worker must release the cancelled span without wedging.
+	reply, err := svc.Decode(context.Background(), s.Name(), words[:1])
+	if err != nil || len(reply.Results) != 1 {
+		t.Fatalf("service wedged after cancellation: %v", err)
+	}
+}
+
+// faultyDecoder panics on every batch call — the chaos stand-in for a
+// corrupted decode table or a poisoned code path.
+type faultyDecoder struct{ inner core.BatchDecoder }
+
+func (d faultyDecoder) DecodeWireBatch(recv []bitvec.V288, out []core.WireResult) {
+	panic("serve test: injected decoder fault")
+}
+
+func TestDegradeGuardDropsSchemeToDetectOnly(t *testing.T) {
+	bad, good := core.NewDuetECC(), core.NewTrioECC()
+	cfg := testConfig(bad, good)
+	cfg.Workers = 1
+	cfg.DegradeBudget = 3
+	cfg.DecoderFor = func(sc core.Scheme) core.BatchDecoder {
+		if sc.Name() == bad.Name() {
+			return faultyDecoder{core.AsBatchDecoder(sc)}
+		}
+		return core.AsBatchDecoder(sc)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	words := corpus(bad, 4, 17)
+	// Each single-entry request costs one fault: the batch call panics
+	// and the per-entry fallback (the scheme's own DecodeWire) does
+	// not. Budget 3 => the third request trips the guard.
+	sawDegraded := false
+	for i := 0; i < 4; i++ {
+		reply, err := svc.Decode(context.Background(), bad.Name(), words[i:i+1])
+		if err != nil {
+			t.Fatalf("request %d: %v (a faulting scheme must answer, not error)", i, err)
+		}
+		if reply.Degraded {
+			sawDegraded = true
+			for _, wr := range reply.Results {
+				if wr.Status != ecc.Detected {
+					t.Fatalf("degraded reply carries status %v, want Detected", wr.Status)
+				}
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("scheme never degraded despite exhausting its fault budget")
+	}
+	var st SchemeStatus
+	for _, s := range svc.Status() {
+		if s.Name == bad.Name() {
+			st = s
+		}
+	}
+	if !st.Degraded || st.Faults < 3 {
+		t.Fatalf("status = %+v, want degraded with >= 3 faults", st)
+	}
+
+	// The healthy scheme is unaffected: full corrective service.
+	w := corpus(good, 1, 19)
+	reply, err := svc.Decode(context.Background(), good.Name(), w)
+	if err != nil || reply.Degraded {
+		t.Fatalf("healthy scheme affected by sibling degrade: reply=%+v err=%v", reply, err)
+	}
+	want := good.DecodeWire(w[0])
+	if reply.Results[0] != want {
+		t.Fatal("healthy scheme result differs from direct decode")
+	}
+}
+
+func TestDecodeValidatesCalls(t *testing.T) {
+	svc, err := New(testConfig(core.NewDuetECC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Decode(context.Background(), "NoSuch", make([]bitvec.V288, 1)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := svc.Decode(context.Background(), "DuetECC", nil); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := svc.Decode(context.Background(), "DuetECC", make([]bitvec.V288, MaxRequestEntries+1)); err == nil {
+		t.Error("oversized request accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Decode(ctx, "DuetECC", make([]bitvec.V288, 1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled context: err = %v", err)
+	}
+}
+
+func TestDecodeAfterCloseIsShutdown(t *testing.T) {
+	svc, err := New(testConfig(core.NewDuetECC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	svc.Close() // idempotent
+	if _, err := svc.Decode(context.Background(), "DuetECC", make([]bitvec.V288, 1)); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post-close request: err = %v, want ErrShutdown", err)
+	}
+}

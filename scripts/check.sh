@@ -29,4 +29,27 @@ rm -f "$bench_out"
 echo "== cluster smoke: ecceval -workers 2 =="
 go run ./cmd/ecceval -workers 2 -samples 2000 >/dev/null
 
+echo "== serve smoke: decoded + loadgen =="
+serve_dir="$(mktemp -d "${TMPDIR:-/tmp}/hbm2ecc_serve_smoke.XXXXXX")"
+go build -o "$serve_dir/decoded" ./cmd/decoded
+"$serve_dir/decoded" -addr 127.0.0.1:0 -schemes DuetECC >"$serve_dir/decoded.log" 2>&1 &
+decoded_pid=$!
+trap 'kill "$decoded_pid" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
+serve_url=""
+for _ in $(seq 1 100); do
+	serve_url="$(sed -n 's#.* on \(http://[0-9.:]*\) .*#\1#p' "$serve_dir/decoded.log" | head -n 1)"
+	[ -n "$serve_url" ] && break
+	sleep 0.1
+done
+test -n "$serve_url" || { cat "$serve_dir/decoded.log"; exit 1; }
+# loadgen exits nonzero on any codec violation or if completions fall
+# short, so this one line is the whole assertion.
+go run ./cmd/loadgen -url "$serve_url" -duration 2s -conns 4 -wait 5s -min-completions 1000
+kill -INT "$decoded_pid"
+wait "$decoded_pid"
+
+echo "== bench smoke: cmd/bench -serve -quick =="
+go run ./cmd/bench -serve -quick -out "$serve_dir/bench_serve.json" >/dev/null
+test -s "$serve_dir/bench_serve.json"
+
 echo "OK: all checks passed"
