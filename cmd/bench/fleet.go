@@ -1,0 +1,173 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/fieldsim"
+	"hbm2ecc/internal/fleet"
+	"hbm2ecc/internal/stats"
+)
+
+// FleetReport is the BENCH_fleet.json schema: the fleet-health plane's
+// ingest throughput and the policy-quality ledger at 10k+ simulated
+// nodes.
+type FleetReport struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Seed       int64   `json:"seed"`
+	Quick      bool    `json:"quick"`
+	Nodes      int     `json:"nodes"`
+	Hours      float64 `json:"hours"`
+	Accel      float64 `json:"accel"`
+	Scheme     string  `json:"scheme"`
+	// Result is the simulation outcome, including the policy-quality
+	// ledger (SDC avoided vs capacity lost).
+	Result fieldsim.FleetResult `json:"result"`
+	// WallMS is the whole run's wall clock (simulation + ingest).
+	WallMS float64 `json:"wall_ms"`
+	// ReportsPerSec and EventsPerSec are coordinator ingest throughput
+	// over the wall clock: report frames and taxonomy events (dedup
+	// counts included) per second. RawEventsPerSec counts the simulated
+	// soft errors driven through the real decoder per second.
+	ReportsPerSec   float64 `json:"reports_per_sec"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	RawEventsPerSec float64 `json:"raw_events_per_sec"`
+	// Ingest is the per-report ingest latency distribution (in-process
+	// coordinator call, measured around each Report).
+	Ingest stats.LatencySummary `json:"ingest_latency"`
+	// HeapPeakMB is the heap high-water mark sampled during the run —
+	// the bounded-memory claim for 10k+ tracked nodes rests on it.
+	// HeapEndMB is the post-run, post-GC live heap.
+	HeapPeakMB float64 `json:"heap_peak_mb"`
+	HeapEndMB  float64 `json:"heap_end_mb"`
+}
+
+// latReporter measures each report's ingest latency around the inner
+// reporter (percentile math shared with the loadgen via stats).
+type latReporter struct {
+	inner fleet.Reporter
+	hist  *stats.LatencyHist
+}
+
+func (r latReporter) Report(ctx context.Context, req fleet.ReportRequest) (fleet.ReportResponse, error) {
+	t0 := time.Now()
+	resp, err := r.inner.Report(ctx, req)
+	r.hist.Observe(time.Since(t0))
+	return resp, err
+}
+
+// runFleetBench simulates the full fleet-health plane — agents,
+// Xid-event pipeline, coordinator, policy — and reports ingest
+// throughput, latency percentiles, memory high-water, and the policy
+// quality ledger.
+func runFleetBench(out string, seed int64, quick bool) error {
+	rep := FleetReport{
+		Schema:     "hbm2ecc/bench_fleet/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Quick:      quick,
+		Nodes:      10_000,
+		Hours:      720,
+		Accel:      2000,
+		Scheme:     "NI:SEC-DED",
+	}
+	if quick {
+		rep.Nodes = 2000
+		rep.Hours = 96
+	}
+	scheme, err := core.SchemeByName(rep.Scheme)
+	if err != nil {
+		return err
+	}
+
+	coord := fleet.NewCoordinator(fleet.CoordinatorOptions{MaxNodes: rep.Nodes + 64})
+	var hist stats.LatencyHist
+
+	// Heap high-water sampler: HeapAlloc every 10ms while the run lasts.
+	var peak atomic.Uint64
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			old := peak.Load()
+			if ms.HeapAlloc <= old || peak.CompareAndSwap(old, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+
+	cfg := fieldsim.FleetConfig{
+		Scheme: scheme,
+		Nodes:  rep.Nodes,
+		Hours:  rep.Hours,
+		Accel:  rep.Accel,
+		Seed:   seed,
+	}
+	start := time.Now()
+	res, err := fieldsim.RunFleet(context.Background(),
+		cfg, latReporter{inner: coord.Loopback(), hist: &hist})
+	wall := time.Since(start)
+	sample()
+	close(stopSampler)
+	<-samplerDone
+	if err != nil {
+		return err
+	}
+
+	rep.Result = res
+	rep.WallMS = float64(wall.Microseconds()) / 1000
+	secs := wall.Seconds()
+	rep.ReportsPerSec = float64(res.Reports) / secs
+	rep.EventsPerSec = float64(res.XidEvents) / secs
+	rep.RawEventsPerSec = float64(res.RawEvents) / secs
+	rep.Ingest = hist.Summary()
+	rep.HeapPeakMB = float64(peak.Load()) / (1 << 20)
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.HeapEndMB = float64(ms.HeapAlloc) / (1 << 20)
+
+	q := res.Quality
+	fmt.Printf("fleet: %d nodes x %.0fh (accel %.0fx, %s): %d raw events, %d reports in %.1fs\n",
+		rep.Nodes, rep.Hours, rep.Accel, rep.Scheme, res.RawEvents, res.Reports, secs)
+	fmt.Printf("ingest: %.0f reports/sec, %.0f events/sec (p50 %.1fµs p99 %.1fµs), heap peak %.1f MB\n",
+		rep.ReportsPerSec, rep.EventsPerSec, rep.Ingest.P50MS*1000, rep.Ingest.P99MS*1000, rep.HeapPeakMB)
+	fmt.Printf("policy: avoided %d/%d SDCs (%.1f%%) for %.2f%% capacity — %.1f SDCs avoided per pct capacity (%d drains, %d retires)\n",
+		q.SDCAvoided, q.SDCTotal, 100*q.AvoidedFrac, 100*q.CapacityLostFrac,
+		q.AvoidedPerPctCapacity, q.Drained, q.Retired)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

@@ -11,6 +11,7 @@
 //	go run ./cmd/bench -quick -out f    # CI smoke (scripts/check.sh)
 //	go run ./cmd/bench -cluster         # distributed scaling, BENCH_cluster.json
 //	go run ./cmd/bench -serve           # online serving tier, BENCH_serve.json
+//	go run ./cmd/bench -fleet           # fleet health plane, BENCH_fleet.json
 //
 // Numbers are wall-clock and machine-dependent; the speedup ratios
 // (reference vs fast path on the same machine) are the stable signal.
@@ -216,6 +217,7 @@ func main() {
 	quick := flag.Bool("quick", false, "CI smoke mode: small corpus and sample counts")
 	clusterBench := flag.Bool("cluster", false, "benchmark the distributed campaign engine's 1/2/4-worker scaling instead of decode throughput")
 	serveBench := flag.Bool("serve", false, "benchmark the online decode service (single vs micro-batched) instead of decode throughput")
+	fleetBench := flag.Bool("fleet", false, "benchmark the fleet health plane (10k-node agent/coordinator pipeline) instead of decode throughput")
 	seed := flag.Int64("seed", 2021, "corpus and evaluation seed")
 	corpus := flag.Int("corpus", 8192, "received words per decode corpus")
 	samples := flag.Int("samples", 50_000, "Monte-Carlo samples per sampled class in the end-to-end timing")
@@ -243,6 +245,16 @@ func main() {
 			*out = "BENCH_serve.json"
 		}
 		if err := runServeBench(*out, *seed, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetBench {
+		if *out == "" {
+			*out = "BENCH_fleet.json"
+		}
+		if err := runFleetBench(*out, *seed, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

@@ -152,7 +152,7 @@ func runCoordinator(ctx context.Context, listen string, workers int, seed int64,
 	defer cancel()
 	// The shared daemon bootstrap binds the listener up front (the
 	// embedded workers need the port) and drains on cancellation.
-	srv, err := httpx.StartDaemon(runCtx, listen, coord.Handler(), cluster.MaxFrame)
+	srv, err := httpx.StartDaemon(runCtx, "campaignd", listen, coord.Handler(), cluster.MaxFrame)
 	if err != nil {
 		return err
 	}

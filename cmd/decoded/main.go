@@ -79,7 +79,7 @@ func main() {
 	ctx, stop := httpx.SignalContext()
 	defer stop()
 
-	d, err := httpx.StartDaemon(ctx, *addr, svc.Handler(), serve.MaxFrame)
+	d, err := httpx.StartDaemon(ctx, "decoded", *addr, svc.Handler(), serve.MaxFrame)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "decoded:", err)
 		os.Exit(1)

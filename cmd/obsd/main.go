@@ -79,7 +79,7 @@ func main() {
 	// The shared daemon bootstrap hardens the server (timeouts, bounded
 	// request bodies) and turns ctx cancellation into a graceful drain —
 	// the same scaffolding cmd/campaignd and cmd/decoded run on.
-	srv, err := httpx.StartDaemon(ctx, *addr, d.Handler(), httpx.DefaultMaxBody)
+	srv, err := httpx.StartDaemon(ctx, "obsd", *addr, d.Handler(), httpx.DefaultMaxBody)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"hbm2ecc/internal/httpx"
+)
+
+// Reporter is where a node agent's reports go: the in-process
+// coordinator directly (bench and tests) or a Client speaking the wire
+// protocol to a remote fleetd.
+type Reporter interface {
+	Report(ctx context.Context, req ReportRequest) (ReportResponse, error)
+}
+
+// The Coordinator itself satisfies Reporter for in-process ingest.
+type inprocReporter struct{ c *Coordinator }
+
+func (r inprocReporter) Report(_ context.Context, req ReportRequest) (ReportResponse, error) {
+	return r.c.Report(req)
+}
+
+// Loopback wraps the coordinator as an in-process Reporter.
+func (c *Coordinator) Loopback() Reporter { return inprocReporter{c} }
+
+// Client is the agent-side wire client: a hardened httpx JSON client
+// plus response validation (agents refuse malformed coordinator
+// responses the same way the coordinator refuses malformed reports).
+type Client struct {
+	base string
+	http *httpx.Client
+}
+
+// NewClient builds a client for the coordinator at base
+// ("http://host:port").
+func NewClient(base string, timeout time.Duration) *Client {
+	c := httpx.NewClient(timeout)
+	c.MaxBody = MaxFrame
+	return &Client{base: base, http: c}
+}
+
+// Report POSTs one report frame and validates the response.
+func (c *Client) Report(ctx context.Context, req ReportRequest) (ReportResponse, error) {
+	var resp ReportResponse
+	if err := c.http.PostJSON(ctx, c.base+"/v1/report", &req, &resp); err != nil {
+		return ReportResponse{}, err
+	}
+	if err := resp.Validate(); err != nil {
+		return ReportResponse{}, err
+	}
+	return resp, nil
+}
+
+// Fleet GETs the ranked fleet snapshot.
+func (c *Client) Fleet(ctx context.Context, top int) (FleetResponse, error) {
+	var resp FleetResponse
+	url := c.base + "/v1/fleet"
+	if top > 0 {
+		url += "?top=" + strconv.Itoa(top)
+	}
+	if err := c.http.GetJSON(ctx, url, &resp); err != nil {
+		return FleetResponse{}, err
+	}
+	return resp, nil
+}

@@ -1,13 +1,17 @@
 package httpx
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"hbm2ecc/internal/obs"
 )
 
 // TestClientCancelReleasesInFlightRequest locks the disconnect path the
@@ -99,7 +103,7 @@ func TestClientStopsReadingStreamingOverflow(t *testing.T) {
 
 func TestStartDaemonServesAndDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	d, err := StartDaemon(ctx, "127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	d, err := StartDaemon(ctx, "testd", "127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	}), DefaultMaxBody)
 	if err != nil {
@@ -117,13 +121,27 @@ func TestStartDaemonServesAndDrains(t *testing.T) {
 		t.Fatalf("daemon request: %v (ok=%v)", err, out.OK)
 	}
 
+	// The bootstrap registered the daemon's identity series on the obs
+	// Default registry.
+	var buf bytes.Buffer
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `testd_build_info{go_version="`+runtime.Version()+`",module="hbm2ecc"} 1`) {
+		t.Errorf("metrics missing testd_build_info:\n%s", text)
+	}
+	if !strings.Contains(text, "testd_uptime_seconds") {
+		t.Errorf("metrics missing testd_uptime_seconds:\n%s", text)
+	}
+
 	cancel()
 	if err := d.Wait(); err != nil {
 		t.Fatalf("Wait after cancel: %v", err)
 	}
 	// The listener is released: a fresh daemon can bind the same port.
 	ctx2, cancel2 := context.WithCancel(context.Background())
-	d2, err := StartDaemon(ctx2, d.Addr().String(), http.NotFoundHandler(), 0)
+	d2, err := StartDaemon(ctx2, "", d.Addr().String(), http.NotFoundHandler(), 0)
 	if err != nil {
 		t.Fatalf("rebinding drained daemon's port: %v", err)
 	}

@@ -9,7 +9,9 @@
 //     reading, so a wedged or malicious peer cannot park a goroutine or
 //     balloon memory.
 //
-// It is stdlib-only, like the rest of the repository's infrastructure.
+// It is stdlib-only, like the rest of the repository's infrastructure
+// (the only in-repo dependency is the obs registry, itself stdlib-only,
+// for the uniform per-daemon identity metrics).
 package httpx
 
 import (
@@ -23,8 +25,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
+
+	"hbm2ecc/internal/obs"
 )
 
 // DefaultMaxBody bounds request and response bodies (1 MiB) unless the
@@ -131,7 +136,13 @@ type Daemon struct {
 // StartDaemon listens on addr and serves h (wrapped with MaxBytes when
 // limit > 0) until ctx is cancelled. The returned Daemon is already
 // accepting connections; call Wait to block for the graceful drain.
-func StartDaemon(ctx context.Context, addr string, h http.Handler, limit int64) (*Daemon, error) {
+//
+// component names the daemon for the standard identity series every
+// daemon exposes uniformly on its /metrics endpoint (via the obs
+// Default registry): <component>_build_info{go_version,module} with
+// constant value 1, and <component>_uptime_seconds, refreshed once a
+// second until ctx is cancelled. An empty component skips both.
+func StartDaemon(ctx context.Context, component, addr string, h http.Handler, limit int64) (*Daemon, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -141,8 +152,38 @@ func StartDaemon(ctx context.Context, addr string, h http.Handler, limit int64) 
 		ln:   ln,
 		done: make(chan error, 1),
 	}
+	registerDaemonMetrics(ctx, component)
 	go func() { d.done <- Serve(ctx, d.srv, ln, DefaultShutdownTimeout) }()
 	return d, nil
+}
+
+// registerDaemonMetrics publishes the per-daemon identity series.
+// Registration is idempotent (obs returns the existing family), so
+// restarting a daemon in-process — tests do — is safe.
+func registerDaemonMetrics(ctx context.Context, component string) {
+	if component == "" {
+		return
+	}
+	obs.NewGauge(component+"_build_info",
+		"Build metadata for the "+component+" daemon (value is constant 1).",
+		"go_version", "module").
+		With(runtime.Version(), "hbm2ecc").Set(1)
+	up := obs.NewGauge(component+"_uptime_seconds",
+		"Seconds since the "+component+" daemon started.").With()
+	up.Set(0)
+	start := time.Now()
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				up.Set(time.Since(start).Seconds())
+			}
+		}
+	}()
 }
 
 // Addr returns the daemon's bound address (resolves ":0" listens).

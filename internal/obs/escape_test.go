@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The Prometheus text format requires backslash, newline, and double
+// quote escaped inside label values, and backslash/newline escaped in
+// HELP text. A scraper must be able to parse what WritePrometheus
+// emits no matter what ends up in a label.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // the escaped form expected inside the quotes
+	}{
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"backslash", `C:\path\to`, `C:\\path\\to`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"quote after backslash", `\"`, `\\\"`},
+		{"all three", "a\\\nb\"c", `a\\\nb\"c`},
+		{"plain", "plain-value", "plain-value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter("esc_total", "help", "path").With(tc.value).Inc()
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Fatal(err)
+			}
+			want := `esc_total{path="` + tc.want + `"} 1`
+			if !strings.Contains(buf.String(), want) {
+				t.Errorf("output missing %s:\n%s", want, buf.String())
+			}
+			// However hostile the value, the series must stay a single
+			// parseable line: exactly one line carries the metric.
+			var metricLines int
+			for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+				if strings.HasPrefix(line, "esc_total{") {
+					metricLines++
+				}
+			}
+			if metricLines != 1 {
+				t.Errorf("value split across lines (%d metric lines):\n%s", metricLines, buf.String())
+			}
+		})
+	}
+}
+
+func TestWritePrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "first line\nsecond \\ line").With().Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP h_total first line\nsecond \\ line`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	// The emitted text must still be line-parseable: every line starts
+	// with # or a metric name, never mid-help content.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") || strings.HasPrefix(line, "h_total") {
+			continue
+		}
+		t.Errorf("unparseable line %q (raw newline leaked)", line)
+	}
+}
+
+// Snapshot must produce a deterministic ordering (families sorted by
+// name, series by label values) regardless of registration or write
+// interleaving — concurrent writers may change values between
+// snapshots, but never the shape. Run with -race this also proves the
+// read path is safe against concurrent writers.
+func TestSnapshotDeterministicUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	ctr := r.Counter("det_total", "", "worker")
+	gauge := r.Gauge("det_gauge", "", "worker")
+	hist := r.Histogram("det_seconds", "", ExpBuckets(1e-3, 10, 4), "worker")
+
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", w)
+			c := ctr.With(label)
+			g := gauge.With(label)
+			h := hist.With(label)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%10) / 100)
+			}
+		}(w)
+	}
+
+	shape := func(s Snapshot) []string {
+		var out []string
+		for _, f := range s.Families {
+			for _, ser := range f.Series {
+				out = append(out, f.Name+"/"+ser.Labels["worker"])
+			}
+		}
+		return out
+	}
+	var first []string
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		got := shape(snap)
+		if first == nil && len(got) == workers*3 {
+			first = got
+		}
+		if first != nil && len(got) == len(first) && !reflect.DeepEqual(got, first) {
+			t.Fatalf("snapshot %d reordered:\n%v\nvs\n%v", i, got, first)
+		}
+		// The text form must stay writable mid-flight too.
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: two consecutive snapshots are fully identical, and the
+	// JSON form round-trips.
+	a, b := r.Snapshot(), r.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("snapshots differ with no writers")
+	}
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Histogram totals are self-consistent: bucket sums equal counts.
+	for _, f := range a.Families {
+		if f.Kind != "histogram" {
+			continue
+		}
+		for _, s := range f.Series {
+			var sum uint64
+			for _, c := range s.Histogram.Buckets {
+				sum += c
+			}
+			if sum != s.Histogram.Count {
+				t.Errorf("%s%v: bucket sum %d != count %d", f.Name, s.Labels, sum, s.Histogram.Count)
+			}
+		}
+	}
+}

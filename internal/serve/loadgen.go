@@ -2,12 +2,12 @@ package serve
 
 import (
 	"context"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/stats"
 )
 
 // This file is the load-generation engine shared by cmd/loadgen (HTTP
@@ -92,62 +92,15 @@ type LoadStats struct {
 	MeanMS float64 `json:"mean_ms"`
 }
 
-// latHist is a lock-free log-bucketed latency histogram: 10 buckets per
-// decade from 1µs to 100s, accurate to ~26% per bucket — plenty for
-// p50/p95/p99 reporting.
-type latHist struct {
-	counts [101]atomic.Int64
-	sum    atomic.Int64 // nanoseconds
-	max    atomic.Int64 // nanoseconds
-	n      atomic.Int64
-}
-
-func (h *latHist) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	i := 0
-	if ns > 1000 {
-		i = int(math.Round(10 * math.Log10(float64(ns)/1000)))
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(h.counts) {
-			i = len(h.counts) - 1
-		}
-	}
-	h.counts[i].Add(1)
-	h.sum.Add(ns)
-	h.n.Add(1)
-	for {
-		old := h.max.Load()
-		if ns <= old || h.max.CompareAndSwap(old, ns) {
-			return
-		}
-	}
-}
-
-// quantile returns the q-quantile in milliseconds (geometric bucket
-// midpoint).
-func (h *latHist) quantile(q float64) float64 {
-	total := h.n.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen >= rank {
-			// Bucket i spans [1µs·10^((i-0.5)/10), 1µs·10^((i+0.5)/10)).
-			return 1e-3 * math.Pow(10, float64(i)/10)
-		}
-	}
-	return float64(h.max.Load()) / 1e6
+// fillLatency copies the histogram's standard percentile summary into
+// the stats fields (latency math lives in stats.LatencyHist).
+func (st *LoadStats) fillLatency(hist *stats.LatencyHist) {
+	s := hist.Summary()
+	st.P50MS = s.P50MS
+	st.P95MS = s.P95MS
+	st.P99MS = s.P99MS
+	st.MaxMS = s.MaxMS
+	st.MeanMS = s.MeanMS
 }
 
 // Pipelined-ingress geometry: completions are collected in chunks — an
@@ -172,7 +125,7 @@ const pipeChunk = 32
 func RunLoadPipelined(ctx context.Context, svc *Service, scheme string, reqs [][]bitvec.V288, opts LoadOptions) LoadStats {
 	opts.defaults()
 	st := LoadStats{Closed: opts.Rate <= 0, OfferedRate: opts.Rate}
-	var hist latHist
+	var hist stats.LatencyHist
 
 	type pend struct {
 		tk Ticket
@@ -274,7 +227,7 @@ func RunLoadPipelined(ctx context.Context, svc *Service, scheme string, reqs [][
 			case err == nil:
 				completed++
 				entries += int64(len(reply.Results))
-				hist.observe(time.Since(p.t0))
+				hist.Observe(time.Since(p.t0))
 			case IsShed(err):
 				shed++
 			default:
@@ -296,13 +249,7 @@ func RunLoadPipelined(ctx context.Context, svc *Service, scheme string, reqs [][
 		st.RequestsPerSec = float64(st.Completed) / secs
 		st.EntriesPerSec = float64(st.Entries) / secs
 	}
-	st.P50MS = hist.quantile(0.50)
-	st.P95MS = hist.quantile(0.95)
-	st.P99MS = hist.quantile(0.99)
-	st.MaxMS = float64(hist.max.Load()) / 1e6
-	if n := hist.n.Load(); n > 0 {
-		st.MeanMS = float64(hist.sum.Load()) / float64(n) / 1e6
-	}
+	st.fillLatency(&hist)
 	return st
 }
 
@@ -311,7 +258,7 @@ func RunLoadPipelined(ctx context.Context, svc *Service, scheme string, reqs [][
 func RunLoad(ctx context.Context, opts LoadOptions, do LoadFunc) LoadStats {
 	opts.defaults()
 	st := LoadStats{Closed: opts.Rate <= 0, OfferedRate: opts.Rate}
-	var hist latHist
+	var hist stats.LatencyHist
 	var offered, issued, overruns, completed, shed, errs, entries atomic.Int64
 
 	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
@@ -325,7 +272,7 @@ func RunLoad(ctx context.Context, opts LoadOptions, do LoadFunc) LoadStats {
 		case LoadOK:
 			completed.Add(1)
 			entries.Add(int64(n))
-			hist.observe(time.Since(t0))
+			hist.Observe(time.Since(t0))
 		case LoadShed:
 			shed.Add(1)
 		default:
@@ -403,12 +350,6 @@ func RunLoad(ctx context.Context, opts LoadOptions, do LoadFunc) LoadStats {
 		st.RequestsPerSec = float64(st.Completed) / secs
 		st.EntriesPerSec = float64(st.Entries) / secs
 	}
-	st.P50MS = hist.quantile(0.50)
-	st.P95MS = hist.quantile(0.95)
-	st.P99MS = hist.quantile(0.99)
-	st.MaxMS = float64(hist.max.Load()) / 1e6
-	if n := hist.n.Load(); n > 0 {
-		st.MeanMS = float64(hist.sum.Load()) / float64(n) / 1e6
-	}
+	st.fillLatency(&hist)
 	return st
 }

@@ -171,26 +171,5 @@ func TestRunLoadPipelinedOpenLoopShedsUnderOverload(t *testing.T) {
 	}
 }
 
-func TestLatHistQuantiles(t *testing.T) {
-	var h latHist
-	for i := 0; i < 100; i++ {
-		h.observe(time.Millisecond)
-	}
-	h.observe(100 * time.Millisecond)
-
-	if p50 := h.quantile(0.50); p50 < 0.7 || p50 > 1.4 {
-		t.Errorf("p50 = %.3fms, want ~1ms", p50)
-	}
-	if p99 := h.quantile(0.99); p99 < 0.7 || p99 > 1.4 {
-		t.Errorf("p99 = %.3fms, want ~1ms (100/101 observations at 1ms)", p99)
-	}
-	if q := h.quantile(1.0); q < 70 || q > 140 {
-		t.Errorf("p100 = %.3fms, want ~100ms", q)
-	}
-	if mx := float64(h.max.Load()) / 1e6; mx != 100 {
-		t.Errorf("max = %.3fms, want 100ms", mx)
-	}
-	// Sub-microsecond observations land in bucket 0 without panicking.
-	h.observe(0)
-	h.observe(-time.Second)
-}
+// Latency histogram quantile behavior is tested in internal/stats
+// (TestLatencyHistQuantiles), where the histogram now lives.

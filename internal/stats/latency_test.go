@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	if p50 := h.Quantile(0.50); p50 < 0.7 || p50 > 1.4 {
+		t.Errorf("p50 = %.3fms, want ~1ms", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 0.7 || p99 > 1.4 {
+		t.Errorf("p99 = %.3fms, want ~1ms (100/101 observations at 1ms)", p99)
+	}
+	if q := h.Quantile(1.0); q < 70 || q > 140 {
+		t.Errorf("p100 = %.3fms, want ~100ms", q)
+	}
+	if mx := h.MaxMS(); mx != 100 {
+		t.Errorf("max = %.3fms, want 100ms", mx)
+	}
+	if n := h.Count(); n != 101 {
+		t.Errorf("count = %d, want 101", n)
+	}
+	// Sub-microsecond observations land in bucket 0 without panicking.
+	h.Observe(0)
+	h.Observe(-time.Second)
+
+	s := h.Summary()
+	if s.P50MS != h.Quantile(0.50) || s.MaxMS != h.MaxMS() || s.MeanMS != h.MeanMS() {
+		t.Errorf("summary %+v disagrees with direct queries", s)
+	}
+}
+
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	s := h.Summary()
+	if s.P50MS != 0 || s.P99MS != 0 || s.MaxMS != 0 || s.MeanMS != 0 {
+		t.Errorf("empty histogram summary %+v, want zeros", s)
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := h.Count(); n != workers*per {
+		t.Fatalf("count = %d, want %d", n, workers*per)
+	}
+	if mx := h.MaxMS(); mx != float64(workers) {
+		t.Errorf("max = %.3fms, want %dms", mx, workers)
+	}
+}

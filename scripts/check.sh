@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
 echo "== go vet ./... =="
 go vet ./...
 
@@ -51,5 +59,39 @@ wait "$decoded_pid"
 echo "== bench smoke: cmd/bench -serve -quick =="
 go run ./cmd/bench -serve -quick -out "$serve_dir/bench_serve.json" >/dev/null
 test -s "$serve_dir/bench_serve.json"
+
+echo "== fleet smoke: fleetd + simulated agents =="
+go build -o "$serve_dir/fleetd" ./cmd/fleetd
+"$serve_dir/fleetd" -addr 127.0.0.1:0 -nodes 50 -hours 48 -accel 50000 \
+	>"$serve_dir/fleetd.log" 2>&1 &
+fleetd_pid=$!
+trap 'kill "$decoded_pid" "$fleetd_pid" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
+fleet_url=""
+for _ in $(seq 1 100); do
+	fleet_url="$(sed -n 's#.* on \(http://[0-9.:]*\) .*#\1#p' "$serve_dir/fleetd.log" | head -n 1)"
+	[ -n "$fleet_url" ] && break
+	sleep 0.1
+done
+test -n "$fleet_url" || { cat "$serve_dir/fleetd.log"; exit 1; }
+# The simulated agents report in; wait until the coordinator ranks at
+# least one node, then check the metric families are exported.
+ranked=""
+for _ in $(seq 1 100); do
+	ranked="$(curl -sf "$fleet_url/v1/fleet?top=1" | grep -o '"id":"node-[0-9]*"' | head -n 1)"
+	[ -n "$ranked" ] && break
+	sleep 0.1
+done
+test -n "$ranked" || { echo "no ranked node"; cat "$serve_dir/fleetd.log"; exit 1; }
+fleet_metrics="$(curl -sf "$fleet_url/metrics")"
+for fam in fleet_nodes fleet_reports_total fleetd_build_info fleetd_uptime_seconds; do
+	echo "$fleet_metrics" | grep -q "$fam" || { echo "/metrics missing $fam"; exit 1; }
+done
+curl -sf "$fleet_url/healthz" | grep -q '"status":"ok"'
+kill -INT "$fleetd_pid"
+wait "$fleetd_pid"
+
+echo "== bench smoke: cmd/bench -fleet -quick =="
+go run ./cmd/bench -fleet -quick -out "$serve_dir/bench_fleet.json" >/dev/null
+test -s "$serve_dir/bench_fleet.json"
 
 echo "OK: all checks passed"
