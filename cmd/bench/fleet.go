@@ -48,6 +48,13 @@ type FleetReport struct {
 	// HeapEndMB is the post-run, post-GC live heap.
 	HeapPeakMB float64 `json:"heap_peak_mb"`
 	HeapEndMB  float64 `json:"heap_end_mb"`
+	// The WAL leg reruns the identical simulation against a durable
+	// coordinator (every acked report crosses the CRC-framed WAL
+	// first). WALRatio is its ingest throughput relative to the
+	// memory-only leg — the durability overhead, which must stay small.
+	WALWallMS        float64 `json:"wal_wall_ms"`
+	WALReportsPerSec float64 `json:"wal_reports_per_sec"`
+	WALRatio         float64 `json:"wal_ratio"`
 }
 
 // latReporter measures each report's ingest latency around the inner
@@ -70,7 +77,7 @@ func (r latReporter) Report(ctx context.Context, req fleet.ReportRequest) (fleet
 // quality ledger.
 func runFleetBench(out string, seed int64, quick bool) error {
 	rep := FleetReport{
-		Schema:     "hbm2ecc/bench_fleet/v1",
+		Schema:     "hbm2ecc/bench_fleet/v2",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       seed,
@@ -151,11 +158,43 @@ func runFleetBench(out string, seed int64, quick bool) error {
 	runtime.ReadMemStats(&ms)
 	rep.HeapEndMB = float64(ms.HeapAlloc) / (1 << 20)
 
+	// WAL leg: the identical simulation against a durable coordinator.
+	walDir, err := os.MkdirTemp("", "hbm2ecc_bench_wal_")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	coordWAL, err := fleet.OpenCoordinator(fleet.CoordinatorOptions{
+		MaxNodes: rep.Nodes + 64,
+		StateDir: walDir,
+	})
+	if err != nil {
+		return err
+	}
+	startWAL := time.Now()
+	resWAL, err := fieldsim.RunFleet(context.Background(), cfg, coordWAL.Loopback())
+	wallWAL := time.Since(startWAL)
+	if err != nil {
+		return err
+	}
+	if err := coordWAL.Close(); err != nil {
+		return err
+	}
+	if resWAL.Reports != res.Reports {
+		return fmt.Errorf("bench: WAL leg ingested %d reports, memory leg %d — runs diverged",
+			resWAL.Reports, res.Reports)
+	}
+	rep.WALWallMS = float64(wallWAL.Microseconds()) / 1000
+	rep.WALReportsPerSec = float64(resWAL.Reports) / wallWAL.Seconds()
+	rep.WALRatio = rep.WALReportsPerSec / rep.ReportsPerSec
+
 	q := res.Quality
 	fmt.Printf("fleet: %d nodes x %.0fh (accel %.0fx, %s): %d raw events, %d reports in %.1fs\n",
 		rep.Nodes, rep.Hours, rep.Accel, rep.Scheme, res.RawEvents, res.Reports, secs)
 	fmt.Printf("ingest: %.0f reports/sec, %.0f events/sec (p50 %.1fµs p99 %.1fµs), heap peak %.1f MB\n",
 		rep.ReportsPerSec, rep.EventsPerSec, rep.Ingest.P50MS*1000, rep.Ingest.P99MS*1000, rep.HeapPeakMB)
+	fmt.Printf("wal: %.0f reports/sec with durability (%.0f%% of memory-only ingest)\n",
+		rep.WALReportsPerSec, 100*rep.WALRatio)
 	fmt.Printf("policy: avoided %d/%d SDCs (%.1f%%) for %.2f%% capacity — %.1f SDCs avoided per pct capacity (%d drains, %d retires)\n",
 		q.SDCAvoided, q.SDCTotal, 100*q.AvoidedFrac, 100*q.CapacityLostFrac,
 		q.AvoidedPerPctCapacity, q.Drained, q.Retired)

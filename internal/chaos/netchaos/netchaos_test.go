@@ -1,0 +1,176 @@
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newBackend(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, `{"echo":%q}`, string(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, client *http.Client, url, body string) (string, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func TestDropEveryDeterministic(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	tr := New(Plan{DropEvery: 3}, nil)
+	client := &http.Client{Transport: tr}
+	var failed []int
+	for i := 1; i <= 9; i++ {
+		if _, err := post(t, client, srv.URL, "x"); err != nil {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 3 || failed[0] != 3 || failed[1] != 6 || failed[2] != 9 {
+		t.Fatalf("dropped requests %v, want [3 6 9]", failed)
+	}
+	if hits.Load() != 6 {
+		t.Fatalf("backend saw %d requests, want 6 (drops never reach it)", hits.Load())
+	}
+	st := tr.Stats()
+	if st.Requests != 9 || st.Drops != 3 || st.Forwarded != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	tr := New(Plan{}, nil)
+	client := &http.Client{Transport: tr}
+
+	if _, err := post(t, client, srv.URL, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetPartitioned(true)
+	if _, err := post(t, client, srv.URL, "during"); err == nil {
+		t.Fatal("request crossed a partition")
+	}
+	if !tr.Partitioned() {
+		t.Fatal("partition flag lost")
+	}
+	tr.SetPartitioned(false)
+	if _, err := post(t, client, srv.URL, "post"); err != nil {
+		t.Fatalf("healed partition still failing: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("backend saw %d requests, want 2", hits.Load())
+	}
+	if st := tr.Stats(); st.Partition != 1 {
+		t.Fatalf("partition drops = %d, want 1", st.Partition)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	tr := New(Plan{DupProb: 1}, nil)
+	client := &http.Client{Transport: tr}
+	body, err := post(t, client, srv.URL, "dup-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client sees exactly one (valid) response...
+	if !strings.Contains(body, "dup-me") {
+		t.Fatalf("response = %q", body)
+	}
+	// ...but the server was hit twice with the same payload.
+	if hits.Load() != 2 {
+		t.Fatalf("backend saw %d deliveries, want 2", hits.Load())
+	}
+	if st := tr.Stats(); st.Dups != 1 {
+		t.Fatalf("dups = %d, want 1", st.Dups)
+	}
+}
+
+func TestCorruptFlipsResponseByte(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	clean, err := post(t, &http.Client{}, srv.URL, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(Plan{CorruptProb: 1, Seed: 11}, nil)
+	mangled, err := post(t, &http.Client{Transport: tr}, srv.URL, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mangled == clean {
+		t.Fatal("corruption plan left the response intact")
+	}
+	if len(mangled) != len(clean) {
+		t.Fatalf("corruption changed length: %d vs %d", len(mangled), len(clean))
+	}
+	// The request itself was delivered — corruption hits only the ack.
+	if hits.Load() != 2 {
+		t.Fatalf("backend saw %d requests, want 2", hits.Load())
+	}
+}
+
+func TestDelayBoundedAndCancelable(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	tr := New(Plan{DelayProb: 1, DelayMax: 20 * time.Millisecond, Seed: 3}, nil)
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	if _, err := post(t, client, srv.URL, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("delay exceeded plan bound: %v", elapsed)
+	}
+	if st := tr.Stats(); st.Delays != 1 {
+		t.Fatalf("delays = %d, want 1", st.Delays)
+	}
+}
+
+func TestSeededRunsReplayIdentically(t *testing.T) {
+	run := func() []bool {
+		var hits atomic.Int64
+		srv := newBackend(t, &hits)
+		tr := New(Plan{DropProb: 0.4, Seed: 99}, nil)
+		client := &http.Client{Transport: tr}
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			_, err := post(t, client, srv.URL, "r")
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: outcome differs across identically seeded runs", i)
+		}
+	}
+}

@@ -5,9 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -15,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"hbm2ecc/internal/chaos/netchaos"
 	"hbm2ecc/internal/core"
 	"hbm2ecc/internal/errormodel"
 	"hbm2ecc/internal/evalmc"
@@ -225,28 +224,9 @@ func TestChaosCoordinatorKillAndResume(t *testing.T) {
 	}
 }
 
-// flakyTransport drops every third request deterministically — the
-// network chaos the worker's retry policy has to ride out.
-type flakyTransport struct {
-	mu   sync.Mutex
-	n    int
-	next http.RoundTripper
-}
-
-func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
-	f.mu.Lock()
-	f.n++
-	drop := f.n%3 == 0
-	f.mu.Unlock()
-	if drop {
-		return nil, fmt.Errorf("flaky transport: dropped request %d", f.n)
-	}
-	return f.next.RoundTrip(req)
-}
-
-// TestChaosFlakyNetwork runs a campaign through a transport that fails
-// a third of all requests: retries with backoff must carry it to the
-// same sequential-identical merge.
+// TestChaosFlakyNetwork runs a campaign through a netchaos transport
+// that drops every third request deterministically: retries with
+// backoff must carry it to the same sequential-identical merge.
 func TestChaosFlakyNetwork(t *testing.T) {
 	spec := testSpec()
 	h := startHarness(t, CoordinatorOptions{
@@ -254,12 +234,16 @@ func TestChaosFlakyNetwork(t *testing.T) {
 		LeaseTTL: 500 * time.Millisecond,
 	})
 	client := httpx.NewClient(10 * time.Second)
-	client.HTTP.Transport = &flakyTransport{next: http.DefaultTransport}
+	chaos := netchaos.New(netchaos.Plan{DropEvery: 3}, nil)
+	client.HTTP.Transport = chaos
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	if err := h.runWorker(ctx, "flaky", client, nil); err != nil {
 		t.Fatal(err)
+	}
+	if st := chaos.Stats(); st.Drops == 0 {
+		t.Fatalf("chaos plan injected no drops: %+v", st)
 	}
 	got, err := h.coord.Results()
 	if err != nil {
@@ -268,6 +252,38 @@ func TestChaosFlakyNetwork(t *testing.T) {
 	want := evalmc.EvaluateAll(schemesFor(t, spec), spec.Options())
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("results over flaky network differ from sequential evaluation")
+	}
+}
+
+// TestChaosDuplicatedDeliveries runs a campaign through a transport
+// that redelivers a fraction of requests (the lost-ack double-send a
+// retrying client produces): the coordinator's idempotent result
+// handling must still merge to the sequential answer.
+func TestChaosDuplicatedDeliveries(t *testing.T) {
+	spec := testSpec()
+	h := startHarness(t, CoordinatorOptions{
+		Spec:     spec,
+		LeaseTTL: 500 * time.Millisecond,
+	})
+	client := httpx.NewClient(10 * time.Second)
+	chaos := netchaos.New(netchaos.Plan{DupProb: 0.3, Seed: 42}, nil)
+	client.HTTP.Transport = chaos
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := h.runWorker(ctx, "dup", client, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := chaos.Stats(); st.Dups == 0 {
+		t.Fatalf("chaos plan injected no duplicates: %+v", st)
+	}
+	got, err := h.coord.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := evalmc.EvaluateAll(schemesFor(t, spec), spec.Options())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("results under duplicated deliveries differ from sequential evaluation")
 	}
 }
 

@@ -1,0 +1,198 @@
+package fieldsim
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbm2ecc/internal/chaos/netchaos"
+	"hbm2ecc/internal/fleet"
+)
+
+// This file locks the fleet plane's partition tolerance and crash
+// recovery end to end: the same fleet simulation is run once against
+// an in-memory coordinator over loopback (the uninterrupted baseline)
+// and once over real HTTP against a durable coordinator that is
+// SIGKILLed mid-run and restarted from its state directory, while 30%
+// of the fleet's quiet nodes ride out a network partition behind
+// seeded netchaos transports. The two runs must converge to identical
+// results: the outbox buffers and redelivers in order, the
+// coordinator's sequence dedup absorbs redelivery, and WAL replay
+// reconstructs the killed coordinator exactly.
+
+// coordState flattens everything externally observable about a
+// coordinator: the full ranked fleet snapshot plus every node's
+// recent-event ring. The fleet-wide event ring is deliberately
+// excluded — it records global arrival order, which buffering
+// legitimately permutes across nodes.
+func coordState(c *fleet.Coordinator, nodes int) any {
+	perNode := make(map[string]fleet.EventsResponse, nodes)
+	for i := 0; i < nodes; i++ {
+		id := fmt.Sprintf("node-%05d", i)
+		perNode[id] = c.Events(id, 0, fleet.MaxTopNodes)
+	}
+	return struct {
+		Fleet   fleet.FleetResponse
+		PerNode map[string]fleet.EventsResponse
+	}{c.Fleet(fleet.MaxTopNodes), perNode}
+}
+
+func TestChaosKillAndPartitionConvergesToBaseline(t *testing.T) {
+	cfg := smallFleet()
+
+	// Baseline: uninterrupted loopback run against a memory coordinator.
+	base := fleet.NewCoordinator(fleet.CoordinatorOptions{})
+	resBase, err := RunFleet(context.Background(), cfg, base.Loopback())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos run: durable coordinator behind a swappable HTTP handler.
+	dir := t.TempDir()
+	opts := fleet.CoordinatorOptions{StateDir: dir}
+	c1, err := fleet.OpenCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handler atomic.Pointer[http.Handler]
+	setHandler := func(h http.Handler) { handler.Store(&h) }
+	setHandler(c1.Handler())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	dead := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "coordinator killed", http.StatusServiceUnavailable)
+	})
+
+	// Partition 30% of the fleet, drawn from the mult-1 population
+	// (indices 0..53 under DefaultRateClasses at 60 nodes) and — for
+	// this seed — earning no remediation command while their frames are
+	// in flight. That restriction is load-bearing: a command applied
+	// late changes when the node leaves service, which changes the
+	// simulation trajectory itself — divergence by construction, not a
+	// reporting-layer defect. The buffered-report path only promises
+	// that what was reported converges, not that decisions delayed past
+	// their moment have no cost.
+	parts := make(map[int]*netchaos.Transport)
+	for _, i := range []int{0, 2, 3, 7, 10, 11, 15, 17, 19, 21, 22, 28, 29, 31, 32, 36, 40, 45} {
+		parts[i] = netchaos.New(netchaos.Plan{}, nil)
+	}
+	if got, want := len(parts), (cfg.Nodes*30+99)/100; got != want {
+		t.Fatalf("partition set is %d nodes, want %d (30%%)", got, want)
+	}
+
+	// The partition backlog clears by hour 44 (last failed probe before
+	// the hour-36 heal plus the 8h backoff cap); the kill window sits in
+	// a command-quiet stretch for this seed (no command issued fleet-wide
+	// in [45, 50)), so the one dead tick's backlog clears before any
+	// command could be delayed.
+	const (
+		partStart, partEnd = 18.0, 36.0
+		killAt, recoverAt  = 46.0, 47.0
+	)
+	var c2 *fleet.Coordinator
+	parted, killed := false, false
+	cfg.ReporterFor = func(i int, id string) fleet.Reporter {
+		cl := fleet.NewClient(srv.URL, 10*time.Second)
+		if tr, ok := parts[i]; ok {
+			cl.WithTransport(tr)
+		}
+		return cl
+	}
+	cfg.OnTick = func(now float64) {
+		if !parted && now >= partStart && now < partEnd {
+			parted = true
+			for _, tr := range parts {
+				tr.SetPartitioned(true)
+			}
+		}
+		if parted && now >= partEnd {
+			parted = false
+			for _, tr := range parts {
+				tr.SetPartitioned(false)
+			}
+		}
+		if !killed && now >= killAt {
+			// SIGKILL: the old instance is abandoned with its WAL fd
+			// open, exactly as a dead process leaves it.
+			killed = true
+			setHandler(dead)
+		}
+		if killed && c2 == nil && now >= recoverAt {
+			var err error
+			c2, err = fleet.OpenCoordinator(opts)
+			if err != nil {
+				t.Fatalf("recovering killed coordinator: %v", err)
+			}
+			if rec := c2.Recovery(); rec.WALRecords == 0 {
+				t.Fatalf("recovery replayed nothing: %+v", rec)
+			}
+			setHandler(c2.Handler())
+		}
+	}
+
+	resChaos, err := RunFleet(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == nil {
+		t.Fatal("kill/recover schedule never fired")
+	}
+
+	// The chaos was real: partitioned transports refused requests, the
+	// outboxes buffered and retried, and nothing was shed or poisoned.
+	var partDrops int64
+	for _, tr := range parts {
+		partDrops += tr.Stats().Partition
+	}
+	if partDrops == 0 {
+		t.Fatal("partition never blocked a request")
+	}
+	ob := resChaos.Outbox
+	if ob.Failures == 0 {
+		t.Fatal("outboxes never saw a failed send despite partition + kill")
+	}
+	if ob.Drops != 0 || ob.Rejected != 0 {
+		t.Fatalf("outboxes shed or poisoned frames: %+v", ob)
+	}
+	if ob.Sent != ob.Enqueued {
+		t.Fatalf("outboxes left frames undelivered: %+v", ob)
+	}
+	if ob.Enqueued != resBase.Outbox.Enqueued {
+		t.Fatalf("chaos run generated %d frames, baseline %d — trajectories diverged",
+			ob.Enqueued, resBase.Outbox.Enqueued)
+	}
+
+	// The simulation outcome is identical: same decode outcomes, same
+	// policy actions at the same times, same scorecard. Only the outbox
+	// counters (which measure the chaos itself) may differ.
+	resBase.Outbox, resChaos.Outbox = fleet.OutboxStats{}, fleet.OutboxStats{}
+	if !reflect.DeepEqual(resChaos, resBase) {
+		t.Errorf("chaos run result diverged from baseline:\n got %+v\nwant %+v", resChaos, resBase)
+	}
+
+	// The recovered coordinator's fleet picture matches the coordinator
+	// that never crashed and never lost a packet.
+	if got, want := coordState(c2, cfg.Nodes), coordState(base, cfg.Nodes); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered coordinator state diverged from baseline:\n got %+v\nwant %+v", got, want)
+	}
+
+	// And the durable state on disk reproduces it once more: a third
+	// incarnation recovered after the run equals the live one.
+	c3, err := fleet.OpenCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := c3.Recovery(); rec.WALRecords == 0 {
+		t.Fatalf("post-run recovery replayed nothing: %+v", rec)
+	}
+	if got, want := coordState(c3, cfg.Nodes), coordState(c2, cfg.Nodes); !reflect.DeepEqual(got, want) {
+		t.Error("state recovered from disk diverged from the live coordinator")
+	}
+}

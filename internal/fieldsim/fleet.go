@@ -96,7 +96,21 @@ type FleetConfig struct {
 	RateClasses []RateClass
 	// Agent tunes the per-node agents.
 	Agent fleet.AgentOptions
-	Seed  int64
+	// Outbox tunes the per-node report outboxes (queue bound, backoff).
+	// Its OnAck and Seed are owned by the simulation: acks drive the
+	// command bookkeeping, and each node derives its own jitter stream
+	// from Seed, so both are overwritten.
+	Outbox fleet.OutboxOptions
+	// ReporterFor, when set, supplies each node's reporter instead of
+	// the one passed to RunFleet — chaos tests use it to give every node
+	// its own faulty transport. The RunFleet rep argument is ignored
+	// (and may be nil) when ReporterFor is set.
+	ReporterFor func(i int, id string) fleet.Reporter
+	// OnTick, when set, fires at the start of every tick with the
+	// tick's end time — the seam chaos tests use to kill coordinators
+	// and toggle partitions mid-run.
+	OnTick func(at float64)
+	Seed   int64
 }
 
 func (c *FleetConfig) defaults() error {
@@ -166,6 +180,10 @@ type FleetResult struct {
 	// final report was lost (caught only by lease expiry).
 	Crashes       int `json:"crashes"`
 	SilentCrashes int `json:"silent_crashes"`
+	// Outbox aggregates the per-node outbox counters — on a healthy
+	// network Failures and Drops stay zero; under chaos they measure how
+	// much reporting was buffered, retried, and shed.
+	Outbox fleet.OutboxStats `json:"outbox"`
 	// Quality is the policy scorecard.
 	Quality fleet.Quality `json:"quality"`
 }
@@ -175,6 +193,7 @@ type FleetResult struct {
 type simNode struct {
 	id     string
 	agent  *fleet.Agent
+	box    *fleet.Outbox
 	seq    uint64
 	next   float64 // next heartbeat due
 	rate   float64 // events/hour, accelerated
@@ -201,30 +220,61 @@ func RunFleet(ctx context.Context, cfg FleetConfig, rep fleet.Reporter) (FleetRe
 	}
 	wire := cfg.Scheme.Encode(data)
 
+	res := FleetResult{Scheme: cfg.Scheme.Name(), Nodes: cfg.Nodes, Hours: cfg.Hours}
+	res.Quality.NodeHours = float64(cfg.Nodes) * cfg.Hours
+
+	reporterFor := cfg.ReporterFor
+	if reporterFor == nil {
+		reporterFor = func(int, string) fleet.Reporter { return rep }
+	}
+
 	// Build the fleet: rate multipliers assigned round-robin by
 	// cumulative class fraction, weights prefix-summed for O(log n)
-	// weighted event placement.
+	// weighted event placement. Every node reports through its own
+	// bounded outbox: on a healthy network frames flow straight through
+	// and the run is identical to direct delivery; when the coordinator
+	// is unreachable frames buffer and catch up in order once it heals.
+	// flushAt tracks the simulated hour of the flush in progress so late
+	// acks apply commands at the time the node learns of them.
 	baseRate := cfg.RawFITPerGPU * 1e-9 * cfg.Accel // events/hour/node at mult 1
 	nodes := make([]*simNode, cfg.Nodes)
 	cum := make([]float64, cfg.Nodes) // cumulative event weight
 	total := 0.0
+	flushAt := 0.0
 	for i := range nodes {
 		mult := multFor(cfg.RateClasses, i, cfg.Nodes)
 		n := &simNode{
-			id:    fmt.Sprintf("node-%05d", i),
-			rate:  baseRate * mult,
-			next:  cfg.ReportEveryHours * (0.5 + 0.5*float64(i)/float64(cfg.Nodes)), // stagger heartbeats
-			agent: nil,
+			id:   fmt.Sprintf("node-%05d", i),
+			rate: baseRate * mult,
+			next: cfg.ReportEveryHours * (0.5 + 0.5*float64(i)/float64(cfg.Nodes)), // stagger heartbeats
 		}
 		n.agent = fleet.NewAgent(n.id, cfg.Agent)
+		obox := cfg.Outbox
+		obox.Seed = cfg.Outbox.Seed + int64(i)*7919 + 1 // per-node jitter stream
+		obox.OnAck = func(req fleet.ReportRequest, resp fleet.ReportResponse) {
+			res.Reports++
+			for _, e := range req.Events {
+				res.XidEvents += int64(e.N())
+			}
+			// Follow the coordinator's standing order. Crashed nodes are
+			// dead either way; commanding them costs no capacity.
+			if !n.out && !n.gone {
+				switch resp.Command {
+				case fleet.CommandRetire:
+					n.out, n.outAt, n.retEnd = true, flushAt, math.Inf(1)
+					res.Quality.Retired++
+				case fleet.CommandDrain:
+					n.out, n.outAt, n.retEnd = true, flushAt, flushAt+cfg.RepairHours
+					res.Quality.Drained++
+				}
+			}
+		}
+		n.box = fleet.NewOutbox(reporterFor(i, n.id), obox)
 		nodes[i] = n
 		total += n.rate
 		cum[i] = total
 	}
 	crashRate := cfg.CrashFITPerNode * 1e-9 // events/hour/node, not accelerated
-
-	res := FleetResult{Scheme: cfg.Scheme.Name(), Nodes: cfg.Nodes, Hours: cfg.Hours}
-	res.Quality.NodeHours = float64(cfg.Nodes) * cfg.Hours
 
 	report := func(n *simNode, at float64) error {
 		events := n.agent.Drain()
@@ -238,7 +288,7 @@ func RunFleet(ctx context.Context, cfg FleetConfig, rep fleet.Reporter) (FleetRe
 			}
 			events = events[len(batch):]
 			n.seq++
-			resp, err := rep.Report(ctx, fleet.ReportRequest{
+			n.box.Enqueue(fleet.ReportRequest{
 				NodeID:    n.id,
 				Seq:       n.seq,
 				AtHours:   at,
@@ -246,30 +296,14 @@ func RunFleet(ctx context.Context, cfg FleetConfig, rep fleet.Reporter) (FleetRe
 				Recommend: rec.String(),
 				Events:    batch,
 			})
-			if err != nil {
+			flushAt = at
+			if err := n.box.Flush(ctx, at); err != nil {
 				return err
 			}
-			res.Reports++
-			for _, e := range batch {
-				res.XidEvents += int64(e.N())
-			}
-			// Follow the coordinator's standing order. Crashed nodes are
-			// dead either way; commanding them costs no capacity.
-			if !n.out && !n.gone {
-				switch resp.Command {
-				case fleet.CommandRetire:
-					n.out, n.outAt, n.retEnd = true, at, math.Inf(1)
-					res.Quality.Retired++
-				case fleet.CommandDrain:
-					n.out, n.outAt, n.retEnd = true, at, at+cfg.RepairHours
-					res.Quality.Drained++
-				}
-			}
 			if len(events) == 0 {
-				break
+				return nil
 			}
 		}
-		return nil
 	}
 
 	for t := 0.0; t < cfg.Hours; t += cfg.TickHours {
@@ -277,6 +311,9 @@ func RunFleet(ctx context.Context, cfg FleetConfig, rep fleet.Reporter) (FleetRe
 			return res, err
 		}
 		now := t + cfg.TickHours
+		if cfg.OnTick != nil {
+			cfg.OnTick(now)
+		}
 
 		// Repairs come back online with a fresh (reset) agent.
 		for _, n := range nodes {
@@ -367,12 +404,36 @@ func RunFleet(ctx context.Context, cfg FleetConfig, rep fleet.Reporter) (FleetRe
 			}
 		}
 
+		// Backlogged outboxes keep retrying on their backoff schedule
+		// even when no heartbeat is due — including crashed and drained
+		// nodes, whose already-spooled frames the on-host outbox keeps
+		// delivering out of band. On a healthy network this loop is a
+		// no-op: nothing is ever backlogged.
+		for _, n := range nodes {
+			if n.box.Backlogged() {
+				flushAt = now
+				if err := n.box.Flush(ctx, now); err != nil {
+					return res, err
+				}
+			}
+		}
+
 		// Capacity accounting: policy-removed, otherwise-alive nodes.
 		for _, n := range nodes {
 			if n.out && !n.gone {
 				res.Quality.LostNodeHours += cfg.TickHours
 			}
 		}
+	}
+
+	// End-of-run drain: one last ungated delivery pass for anything
+	// still buffered, then fold the per-node outbox counters in.
+	flushAt = cfg.Hours
+	for _, n := range nodes {
+		if err := n.box.FlushFinal(ctx, cfg.Hours); err != nil {
+			return res, err
+		}
+		res.Outbox.Add(n.box.Stats())
 	}
 
 	res.Quality.Finalize()

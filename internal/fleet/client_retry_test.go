@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbm2ecc/internal/fleet/xid"
+	"hbm2ecc/internal/httpx"
+	"hbm2ecc/internal/resilience"
+)
+
+// flakyCoordinator 503s the first n requests to each path, then
+// forwards to the real coordinator handler — the brown-out a fleetd
+// mid-recovery presents.
+func flakyCoordinator(t *testing.T, fails int64) (*Coordinator, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	coord := NewCoordinator(CoordinatorOptions{})
+	var served atomic.Int64
+	h := coord.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) <= fails {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return coord, srv, &served
+}
+
+func retryTestClient(base string) *Client {
+	return NewClient(base, 5*time.Second).
+		WithRetry(resilience.NewRetryPolicy(8, 0.001, 0.01, 1))
+}
+
+func TestClientReportRetriesThroughBrownout(t *testing.T) {
+	coord, srv, served := flakyCoordinator(t, 2)
+	c := retryTestClient(srv.URL)
+
+	req := ReportRequest{
+		NodeID:  "node-0",
+		Seq:     1,
+		AtHours: 1,
+		Health:  "ok",
+		Events:  []xid.Event{{Node: "node-0", Code: xid.DoubleBitECC, AtHours: 1, Row: 7}},
+	}
+	resp, err := c.Report(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || resp.Duplicate {
+		t.Fatalf("response = %+v", resp)
+	}
+	if served.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 503s ridden out)", served.Load())
+	}
+	fl := coord.Fleet(1)
+	if fl.Total != 1 {
+		t.Fatalf("coordinator tracks %d nodes, want 1", fl.Total)
+	}
+}
+
+func TestClientFleetRetriesThroughBrownout(t *testing.T) {
+	_, srv, served := flakyCoordinator(t, 1)
+	c := retryTestClient(srv.URL)
+	if _, err := c.Fleet(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", served.Load())
+	}
+}
+
+func TestClientDoesNotRetryValidationRejections(t *testing.T) {
+	_, srv, served := flakyCoordinator(t, 0)
+	c := retryTestClient(srv.URL)
+	// Seq 0 fails coordinator-side validation: a permanent 400.
+	_, err := c.Report(context.Background(), ReportRequest{NodeID: "node-0", Seq: 0, AtHours: 1, Health: "ok"})
+	var se *httpx.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("validation rejection retried: %d requests", served.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -79,6 +80,21 @@ type CoordinatorOptions struct {
 	FleetRing int
 	// Policy is the ranking/remediation policy (default DefaultPolicy).
 	Policy Policy
+
+	// StateDir, when set (via OpenCoordinator), makes the coordinator
+	// durable: every accepted report is appended to a CRC-framed WAL
+	// before it is acked, and the node table is checkpointed
+	// atomically at each compaction, so a crash or SIGKILL loses no
+	// acked report. Empty keeps the coordinator memory-only.
+	StateDir string
+	// CompactEvery bounds WAL growth: after this many appends the node
+	// table is snapshotted and the log reset (default 1<<18 records).
+	CompactEvery int
+	// WALSyncEvery is the WAL fsync cadence in records (default 1024;
+	// negative disables). Each append is still a single write(2), so a
+	// process crash loses nothing — the cadence only bounds the loss
+	// window of a whole-machine crash.
+	WALSyncEvery int
 }
 
 func (o *CoordinatorOptions) defaults() {
@@ -96,6 +112,9 @@ func (o *CoordinatorOptions) defaults() {
 	}
 	if o.FleetRing <= 0 {
 		o.FleetRing = 256
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 1 << 18
 	}
 	o.Policy.defaults()
 }
@@ -162,6 +181,12 @@ type Coordinator struct {
 	statusGauge [4]*obs.Gauge
 	// perXid caches counter handles (label resolution off the hot path).
 	perXid map[int]*obs.Counter
+
+	// dur is the durability layer (nil for a memory-only coordinator);
+	// replaying suppresses WAL appends and counter bumps while recovery
+	// re-drives logged reports through Report.
+	dur       *durability
+	replaying bool
 }
 
 // NewCoordinator builds an empty coordinator.
@@ -198,7 +223,9 @@ func (c *Coordinator) setStatusLocked(n *nodeState, status int) {
 
 // Report ingests one node report: lease renewal, event ingest into the
 // rolling window and rings, re-scoring, and the policy decision. The
-// returned error means the report was rejected (HTTP 422).
+// returned error means the report was rejected (HTTP 422), except an
+// *UnavailableError (durable coordinator that could not log the
+// report), which maps to a retryable HTTP 503.
 func (c *Coordinator) Report(req ReportRequest) (ReportResponse, error) {
 	start := time.Now()
 	if err := req.Validate(); err != nil {
@@ -206,22 +233,16 @@ func (c *Coordinator) Report(req ReportRequest) (ReportResponse, error) {
 		return ReportResponse{}, err
 	}
 	c.mu.Lock()
+	live := !c.replaying
 	defer func() {
 		c.mu.Unlock()
-		mFleetIngestH.Observe(time.Since(start).Seconds())
+		if live {
+			mFleetIngestH.Observe(time.Since(start).Seconds())
+		}
 	}()
 
-	if req.AtHours > c.simHours {
-		c.simHours = req.AtHours
-		mFleetSimHours.Set(c.simHours)
-	}
-	// Periodic lease sweep, amortized over reports: at most one O(nodes)
-	// scan per quarter lease.
-	if c.simHours-c.lastSweep >= c.opts.LeaseHours/4 {
-		c.sweepLocked()
-	}
-
 	n := c.nodes[req.NodeID]
+	created := false
 	if n == nil {
 		if len(c.nodes) >= c.opts.MaxNodes {
 			mFleetRejected.Inc()
@@ -235,14 +256,45 @@ func (c *Coordinator) Report(req ReportRequest) (ReportResponse, error) {
 		c.nodes[req.NodeID] = n
 		c.statusCount[nodeOnline]++
 		c.statusGauge[nodeOnline].Set(float64(c.statusCount[nodeOnline]))
+		created = true
 	}
 
 	resp := ReportResponse{Version: ProtocolVersion, LeaseHours: c.opts.LeaseHours}
 	if req.Seq <= n.seq {
-		mFleetReplays.Inc()
+		if live {
+			mFleetReplays.Inc()
+		}
 		resp.Duplicate = true
 		resp.Command = n.command
 		return resp, nil
+	}
+	// Durability barrier: the report is logged before any state it will
+	// change is touched, so an acked report is always recoverable and a
+	// failed append leaves memory and disk agreeing (the freshly created
+	// node record is rolled back).
+	if c.dur != nil && live {
+		if err := c.dur.appendLocked(&req); err != nil {
+			if created {
+				delete(c.nodes, req.NodeID)
+				c.statusCount[nodeOnline]--
+				c.statusGauge[nodeOnline].Set(float64(c.statusCount[nodeOnline]))
+			}
+			mFleetRejected.Inc()
+			return ReportResponse{}, &UnavailableError{Err: err}
+		}
+	}
+	// Every mutation below this point is durably logged (or the
+	// coordinator is memory-only): the simulated clock, the amortized
+	// lease sweep and the node apply all replay identically on
+	// recovery. Duplicates bailed out above without touching state.
+	if req.AtHours > c.simHours {
+		c.simHours = req.AtHours
+		mFleetSimHours.Set(c.simHours)
+	}
+	// Periodic lease sweep, amortized over reports: at most one O(nodes)
+	// scan per quarter lease.
+	if c.simHours-c.lastSweep >= c.opts.LeaseHours/4 {
+		c.sweepLocked()
 	}
 	n.seq = req.Seq
 	n.lastSeen = req.AtHours
@@ -259,10 +311,14 @@ func (c *Coordinator) Report(req ReportRequest) (ReportResponse, error) {
 		if c.fleetLen < len(c.fleetRing) {
 			c.fleetLen++
 		}
-		c.perXid[e.Code].Add(uint64(e.N()))
+		if live {
+			c.perXid[e.Code].Add(uint64(e.N()))
+		}
 	}
 	resp.Accepted = len(req.Events)
-	mFleetReports.Inc()
+	if live {
+		mFleetReports.Inc()
+	}
 
 	// A draining node reporting again has been repaired and returned to
 	// service; it re-earns its command from a clean slate. Retirement is
@@ -285,7 +341,9 @@ func (c *Coordinator) Report(req ReportRequest) (ReportResponse, error) {
 		}
 		if cmd != "" && cmd != n.command {
 			n.command = cmd
-			mFleetCommands.With(cmd).Inc()
+			if live {
+				mFleetCommands.With(cmd).Inc()
+			}
 			switch cmd {
 			case CommandRetire:
 				c.setStatusLocked(n, nodeRetired)
@@ -296,6 +354,9 @@ func (c *Coordinator) Report(req ReportRequest) (ReportResponse, error) {
 		}
 	}
 	resp.Command = n.command
+	if c.dur != nil && live && c.dur.compactionDue() {
+		c.compactLocked()
+	}
 	return resp, nil
 }
 
@@ -334,7 +395,9 @@ func (c *Coordinator) sweepLocked() {
 	for _, n := range c.nodes {
 		if n.status == nodeOnline && c.simHours-n.lastSeen > c.opts.LeaseHours {
 			c.setStatusLocked(n, nodeOffline)
-			mFleetExpiries.Inc()
+			if !c.replaying {
+				mFleetExpiries.Inc()
+			}
 		}
 	}
 }
@@ -477,6 +540,12 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		resp, err := c.Report(req)
 		if err != nil {
+			var ue *UnavailableError
+			if errors.As(err, &ue) {
+				// Durability failure, not a bad report: retryable.
+				httpx.Error(w, http.StatusServiceUnavailable, err.Error())
+				return
+			}
 			httpx.Error(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}

@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hbm2ecc/internal/fleet/xid"
+	"hbm2ecc/internal/resilience"
+)
+
+// trafficGen produces a deterministic stream of valid report frames
+// across a small fleet, with enough DUEs to exercise scoring, drain
+// and retire transitions, lease sweeps, and window expiry.
+func trafficGen(seed int64, nodes, frames int) []ReportRequest {
+	rng := rand.New(rand.NewSource(seed))
+	seqs := make([]uint64, nodes)
+	out := make([]ReportRequest, 0, frames)
+	at := 1.0
+	for len(out) < frames {
+		i := rng.Intn(nodes)
+		seqs[i]++
+		id := fmt.Sprintf("node-%03d", i)
+		req := ReportRequest{NodeID: id, Seq: seqs[i], AtHours: at, Health: "ok"}
+		for k := rng.Intn(3); k > 0; k-- {
+			req.Events = append(req.Events, xid.Event{
+				Node: id, Code: xid.DoubleBitECC, AtHours: at, Row: int64(rng.Intn(64)),
+			})
+		}
+		out = append(out, req)
+		at += rng.Float64() * 2
+	}
+	return out
+}
+
+// feed drives frames through a Reporter-style apply function, ignoring
+// rejection errors (trafficGen produces none).
+func feed(t *testing.T, c *Coordinator, frames []ReportRequest) {
+	t.Helper()
+	for i, f := range frames {
+		if _, err := c.Report(f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+}
+
+// fleetStateOf flattens everything externally observable about a
+// coordinator for differential comparison.
+func fleetStateOf(c *Coordinator) any {
+	return struct {
+		Fleet  FleetResponse
+		Events EventsResponse
+	}{c.Fleet(MaxTopNodes), c.Events("", 0, MaxTopNodes)}
+}
+
+func TestDurableKillRecoverMatchesUninterrupted(t *testing.T) {
+	frames := trafficGen(3, 12, 400)
+
+	baseline := NewCoordinator(CoordinatorOptions{})
+	feed(t, baseline, frames)
+
+	// The durable run is killed (no Close — the WAL file is simply
+	// abandoned, as SIGKILL leaves it) and reopened at several points.
+	dir := t.TempDir()
+	opts := CoordinatorOptions{StateDir: dir}
+	c, err := OpenCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{97, 213, 350}
+	prev := 0
+	for _, cut := range cuts {
+		feed(t, c, frames[prev:cut])
+		prev = cut
+		c, err = OpenCoordinator(opts) // abandon the old instance: a crash
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec := c.Recovery(); rec.WALRecords == 0 && rec.SnapshotNodes == 0 {
+			t.Fatalf("reopen at frame %d recovered nothing: %+v", cut, rec)
+		}
+	}
+	feed(t, c, frames[prev:])
+
+	if got, want := fleetStateOf(c), fleetStateOf(baseline); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered fleet state diverged from uninterrupted baseline:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDurableReplayIsSeqIdempotent(t *testing.T) {
+	// Feed the same frames twice (redelivery) across a kill: duplicates
+	// must ack as duplicates both live and through recovery.
+	frames := trafficGen(7, 4, 60)
+	dir := t.TempDir()
+	c, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, c, frames)
+	for _, f := range frames[:20] { // redeliver a prefix
+		resp, err := c.Report(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Duplicate {
+			t.Fatalf("redelivered frame %s/%d not marked duplicate", f.NodeID, f.Seq)
+		}
+	}
+
+	c2, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := NewCoordinator(CoordinatorOptions{})
+	feed(t, baseline, frames)
+	if got, want := fleetStateOf(c2), fleetStateOf(baseline); !reflect.DeepEqual(got, want) {
+		t.Fatal("redelivered duplicates leaked into recovered state")
+	}
+	// Only fresh frames hit the WAL: duplicates were never logged.
+	if rec := c2.Recovery(); rec.WALApplied != len(frames) {
+		t.Fatalf("recovery applied %d frames, want %d", rec.WALApplied, len(frames))
+	}
+}
+
+func TestDurableCompactionBoundsWALAndPreservesState(t *testing.T) {
+	frames := trafficGen(11, 8, 300)
+	dir := t.TempDir()
+	opts := CoordinatorOptions{StateDir: dir, CompactEvery: 50}
+	c, err := OpenCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, c, frames)
+	if n := c.walRecords(); n >= 300 {
+		t.Fatalf("WAL never compacted: %d records", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("no snapshot after compaction: %v", err)
+	}
+
+	baseline := NewCoordinator(CoordinatorOptions{})
+	feed(t, baseline, frames)
+	c2, err := OpenCoordinator(opts) // crash-recover post-compaction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fleetStateOf(c2), fleetStateOf(baseline); !reflect.DeepEqual(got, want) {
+		t.Fatal("state after compaction + recovery diverged from baseline")
+	}
+}
+
+func TestDurableCrashBetweenSnapshotAndReset(t *testing.T) {
+	// A crash can land after the snapshot is saved but before the WAL
+	// is reset: recovery then replays records already inside the
+	// snapshot, and dedup must absorb them.
+	frames := trafficGen(13, 6, 120)
+	dir := t.TempDir()
+	c, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, c, frames)
+	// Save the snapshot by hand, leaving the full WAL behind — exactly
+	// the torn-compaction window.
+	c.mu.Lock()
+	snap := c.snapshotLocked()
+	c.mu.Unlock()
+	if err := resilience.SaveJSON(snapshotPath(dir), snap); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c2.Recovery()
+	if rec.SnapshotNodes == 0 || rec.WALRecords != len(frames) {
+		t.Fatalf("recovery = %+v, want snapshot + full WAL", rec)
+	}
+	if rec.WALApplied != 0 {
+		t.Fatalf("%d stale records re-applied over their own snapshot", rec.WALApplied)
+	}
+	baseline := NewCoordinator(CoordinatorOptions{})
+	feed(t, baseline, frames)
+	if got, want := fleetStateOf(c2), fleetStateOf(baseline); !reflect.DeepEqual(got, want) {
+		t.Fatal("stale-WAL recovery diverged from baseline")
+	}
+}
+
+func TestDurableCleanCloseReplaysNothing(t *testing.T) {
+	frames := trafficGen(17, 5, 80)
+	dir := t.TempDir()
+	c, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, c, frames)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c2.Recovery()
+	if rec.WALRecords != 0 || rec.SnapshotNodes == 0 {
+		t.Fatalf("clean shutdown left WAL work: %+v", rec)
+	}
+}
+
+func TestDurableTornWALTailRecovers(t *testing.T) {
+	frames := trafficGen(19, 5, 100)
+	dir := t.TempDir()
+	c, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, c, frames)
+	// Tear the last append mid-frame, as a crash inside write(2) would.
+	walPath := filepath.Join(dir, walFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c2.Recovery()
+	if rec.WALRecords != len(frames)-1 {
+		t.Fatalf("torn tail: recovered %d records, want %d", rec.WALRecords, len(frames)-1)
+	}
+	// The last frame was never acked-durable; redelivering it converges.
+	if _, err := c2.Report(frames[len(frames)-1]); err != nil {
+		t.Fatal(err)
+	}
+	baseline := NewCoordinator(CoordinatorOptions{})
+	feed(t, baseline, frames)
+	if got, want := fleetStateOf(c2), fleetStateOf(baseline); !reflect.DeepEqual(got, want) {
+		t.Fatal("torn-tail recovery + redelivery diverged from baseline")
+	}
+}
+
+func TestDurableWALFailureReturns503AndRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(CoordinatorOptions{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, c, trafficGen(23, 3, 10))
+	before := c.Fleet(MaxTopNodes)
+
+	// Kill the WAL out from under the coordinator: every append now
+	// fails, so every fresh report must be refused as unavailable.
+	c.mu.Lock()
+	c.dur.wal.Close()
+	c.mu.Unlock()
+
+	_, err = c.Report(report("brand-new-node", 1, 50))
+	var ue *UnavailableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want UnavailableError", err)
+	}
+	after := c.Fleet(MaxTopNodes)
+	if !reflect.DeepEqual(after, before) {
+		t.Fatalf("refused report mutated state:\n before %+v\n after %+v", before, after)
+	}
+}

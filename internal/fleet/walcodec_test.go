@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"hbm2ecc/internal/fleet/xid"
+)
+
+func walCorpus() []ReportRequest {
+	return []ReportRequest{
+		{NodeID: "n-0", Seq: 1, AtHours: 0.5, Health: "ok"},
+		{
+			NodeID: "node-with-a-much-longer-identifier-0042", Seq: 1 << 40,
+			AtHours: 719.25, Health: "degraded", Recommend: "drain",
+			Events: []xid.Event{
+				{Node: "node-with-a-much-longer-identifier-0042", Code: xid.DoubleBitECC, AtHours: 719.25, Row: 123456789, Count: 3},
+				{Node: "node-with-a-much-longer-identifier-0042", Code: xid.HighSBERate, AtHours: 719.0, Row: -1},
+				{Node: "node-with-a-much-longer-identifier-0042", Code: xid.OffTheBus, AtHours: 718.5},
+			},
+		},
+		{NodeID: "n", Seq: 18446744073709551615, AtHours: 1e6, Health: "failing",
+			Events: []xid.Event{{Node: "n", Code: xid.ContainedECC, AtHours: 1e6, Row: 1 << 40, Count: 511}}},
+	}
+}
+
+func TestWALCodecRoundTrip(t *testing.T) {
+	var buf []byte
+	for i, req := range walCorpus() {
+		buf = EncodeWALReport(buf[:0], &req)
+		got, err := DecodeWALReport(buf)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("case %d:\n got %+v\nwant %+v", i, got, req)
+		}
+	}
+}
+
+func TestWALCodecRejectsTruncation(t *testing.T) {
+	req := walCorpus()[1]
+	full := EncodeWALReport(nil, &req)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeWALReport(full[:cut]); err == nil {
+			t.Fatalf("truncation at byte %d/%d decoded cleanly", cut, len(full))
+		}
+	}
+}
+
+func TestWALCodecRejectsTrailingGarbage(t *testing.T) {
+	req := walCorpus()[0]
+	full := EncodeWALReport(nil, &req)
+	if _, err := DecodeWALReport(append(full, 0)); err == nil {
+		t.Fatal("trailing byte decoded cleanly")
+	}
+}
+
+func TestWALCodecRejectsWrongVersion(t *testing.T) {
+	req := walCorpus()[0]
+	full := EncodeWALReport(nil, &req)
+	full[0] = walCodecVersion + 1
+	if _, err := DecodeWALReport(full); err == nil {
+		t.Fatal("future codec version decoded cleanly")
+	}
+}
+
+func TestWALCodecBoundsStringsAndEvents(t *testing.T) {
+	// A record claiming an absurd node-id length must fail before any
+	// large allocation, as must one claiming too many events.
+	req := ReportRequest{NodeID: "x", Seq: 1, AtHours: 1, Health: "ok"}
+	full := EncodeWALReport(nil, &req)
+	full[1] = 0xff // node-id length byte -> 255 > MaxNodeID... but still a valid uvarint
+	if _, err := DecodeWALReport(full); err == nil {
+		t.Fatal("oversized node id decoded cleanly")
+	}
+}
+
+func BenchmarkWALCodecEncode(b *testing.B) {
+	req := walCorpus()[1]
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeWALReport(buf[:0], &req)
+	}
+}

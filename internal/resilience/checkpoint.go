@@ -7,24 +7,43 @@ import (
 	"path/filepath"
 )
 
+// Filesystem seams, swapped by the fault-injection tests so every
+// failure leg of SaveJSON (write, fsync, close, rename) can be driven
+// deterministically. Production code never touches these.
+var (
+	fsCreateTemp = os.CreateTemp
+	fsWrite      = (*os.File).Write
+	fsSync       = (*os.File).Sync
+	fsRename     = os.Rename
+)
+
 // SaveJSON atomically writes v as JSON to path: the document is written
 // to a temp file in the same directory, fsynced, and renamed over the
 // destination, so a crash or SIGKILL mid-write never leaves a torn
-// checkpoint — the previous snapshot survives intact.
+// checkpoint — the previous snapshot survives intact. After the rename
+// the directory is fsynced too, so the new name itself survives a
+// machine crash (best effort: directory sync errors on filesystems
+// that refuse it are ignored).
 func SaveJSON(path string, v any) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	f, err := fsCreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	tmp := f.Name()
-	enc := json.NewEncoder(f)
-	if err := enc.Encode(v); err != nil {
+	raw, err := json.Marshal(v)
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: encode: %w", err)
 	}
-	if err := f.Sync(); err != nil {
+	raw = append(raw, '\n')
+	if _, err := fsWrite(f, raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := fsSync(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: sync: %w", err)
@@ -33,9 +52,13 @@ func SaveJSON(path string, v any) error {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: close: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsRename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }

@@ -1,0 +1,266 @@
+package resilience
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func collect(dst *[][]byte) func([]byte) error {
+	return func(rec []byte) error {
+		*dst = append(*dst, append([]byte(nil), rec...))
+		return nil
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != 100 {
+		t.Fatalf("records = %d, want 100", w.Records())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	w2, err := OpenWAL(path, WALOptions{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Records() != 100 || len(got) != 100 {
+		t.Fatalf("replayed %d records (counter %d), want 100", len(got), w2.Records())
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALTornTail simulates a crash mid-append at every possible cut
+// point of the final record: replay must recover the intact prefix,
+// truncate the torn bytes, and accept new appends afterwards.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	build := func(name string) (string, [][]byte) {
+		path := filepath.Join(dir, name)
+		w, err := OpenWAL(path, WALOptions{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs [][]byte
+		for i := 0; i < 5; i++ {
+			rec := []byte(fmt.Sprintf("intact-%d-payload", i))
+			recs = append(recs, rec)
+			if err := w.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path, recs
+	}
+
+	path, recs := build("sizes.log")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := walHeader + len(recs[0])
+	intact := len(full) - frame // bytes up to the last record's start
+	for cut := intact + 1; cut < len(full); cut++ {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.log", cut))
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got [][]byte
+		w, err := OpenWAL(torn, WALOptions{}, collect(&got))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) != 4 {
+			t.Fatalf("cut %d: replayed %d records, want 4", cut, len(got))
+		}
+		// Appends after a torn-tail truncation land on a clean boundary.
+		if err := w.Append([]byte("after-crash")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got = nil
+		w2, err := OpenWAL(torn, WALOptions{}, collect(&got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2.Close()
+		if len(got) != 5 || string(got[4]) != "after-crash" {
+			t.Fatalf("cut %d: post-crash log has %d records", cut, len(got))
+		}
+	}
+}
+
+// TestWALCorruptRecord flips a payload byte mid-log: replay must stop
+// at the corrupt record (frame boundaries past it are untrusted) and
+// keep only the intact prefix.
+func TestWALCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLens := make([]int, 0, 5)
+	for i := 0; i < 5; i++ {
+		rec := []byte(fmt.Sprintf("record-%d", i))
+		frameLens = append(frameLens, walHeader+len(rec))
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte of record 2.
+	off := frameLens[0] + frameLens[1] + walHeader
+	raw[off] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	w2, err := OpenWAL(path, WALOptions{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records past corruption, want 2", len(got))
+	}
+	if w2.Size() != int64(frameLens[0]+frameLens[1]) {
+		t.Fatalf("corrupt suffix not truncated: size %d", w2.Size())
+	}
+}
+
+// TestWALGarbageLength writes a frame header claiming an absurd record
+// size: replay must treat it as a torn tail, not attempt the alloc.
+func TestWALGarbageLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{MaxRecord: 1 << 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	garbage := []byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4, 9, 9}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var got [][]byte
+	w2, err := OpenWAL(path, WALOptions{MaxRecord: 1 << 10}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 1 || string(got[0]) != "ok" {
+		t.Fatalf("replay over garbage header = %q", got)
+	}
+	if err := w2.Append([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALResetAfterCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 || w.Size() != 0 {
+		t.Fatalf("after reset: records=%d size=%d", w.Records(), w.Size())
+	}
+	if err := w.Append([]byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	w2, err := OpenWAL(path, WALOptions{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if len(got) != 1 || string(got[0]) != "post-compact" {
+		t.Fatalf("post-reset replay = %q", got)
+	}
+}
+
+func TestWALRecordBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{MaxRecord: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make([]byte, 9)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if err := w.Append(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALReplayCallbackError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path, WALOptions{}, func([]byte) error {
+		return fmt.Errorf("boom")
+	}); err == nil {
+		t.Fatal("replay callback error not surfaced")
+	}
+}

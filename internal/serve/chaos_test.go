@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hbm2ecc/internal/chaos/netchaos"
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/httpx"
+)
+
+// TestChaosDecodeOverFaultyNetwork drives /v1/decode through a netchaos
+// transport injecting drops, duplicate deliveries, and corrupted
+// response frames. A simple retry loop on the client side — treating a
+// strict-codec rejection of a mangled response the same as a transport
+// failure — must converge every batch to exactly the direct-decode
+// answer: decode is a pure function, so redelivery is harmless and
+// corruption must never slip a wrong answer past DecodeDecodeResponse.
+func TestChaosDecodeOverFaultyNetwork(t *testing.T) {
+	s := core.NewDuetECC()
+	svc, err := New(testConfig(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(httpx.MaxBytes(svc.Handler(), MaxFrame))
+	defer ts.Close()
+
+	chaos := netchaos.New(netchaos.Plan{
+		Seed:        17,
+		DropProb:    0.2,
+		DupProb:     0.2,
+		CorruptProb: 0.2,
+	}, nil)
+	client := &http.Client{Transport: chaos, Timeout: 10 * time.Second}
+
+	words := corpus(s, 16, 11)
+	req := DecodeRequest{Scheme: s.Name()}
+	for _, w := range words {
+		req.Entries = append(req.Entries, FormatEntry(w))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const batches = 12
+	for b := 0; b < batches; b++ {
+		var resp DecodeResponse
+		for attempt := 0; ; attempt++ {
+			if attempt > 50 {
+				t.Fatalf("batch %d: no clean response after %d attempts", b, attempt)
+			}
+			if err := ctx.Err(); err != nil {
+				t.Fatal(err)
+			}
+			hr, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/decode", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hr.Header.Set("Content-Type", "application/json")
+			res, err := client.Do(hr)
+			if err != nil {
+				continue // dropped — retry
+			}
+			raw := make([]byte, 0, MaxFrame)
+			buf := bytes.NewBuffer(raw)
+			_, err = buf.ReadFrom(res.Body)
+			res.Body.Close()
+			if err != nil || res.StatusCode != http.StatusOK {
+				continue
+			}
+			resp, err = DecodeDecodeResponse(buf.Bytes())
+			if err != nil {
+				continue // corrupted frame rejected by the strict codec — retry
+			}
+			break
+		}
+		if len(resp.Results) != len(words) {
+			t.Fatalf("batch %d: %d results, want %d", b, len(resp.Results), len(words))
+		}
+		for i, w := range words {
+			want := EntryResultOf(s, s.DecodeWire(w))
+			if resp.Results[i] != want {
+				t.Fatalf("batch %d entry %d: got %+v, want %+v", b, i, resp.Results[i], want)
+			}
+		}
+	}
+
+	st := chaos.Stats()
+	if st.Drops == 0 || st.Dups == 0 || st.Corrupts == 0 {
+		t.Fatalf("chaos plan too quiet to prove anything: %+v", st)
+	}
+}

@@ -90,6 +90,50 @@ curl -sf "$fleet_url/healthz" | grep -q '"status":"ok"'
 kill -INT "$fleetd_pid"
 wait "$fleetd_pid"
 
+echo "== fleet durability smoke: kill -9, recover from state dir =="
+state_dir="$serve_dir/fleet_state"
+mkdir -p "$state_dir"
+"$serve_dir/fleetd" -addr 127.0.0.1:0 -nodes 50 -hours 48 -accel 50000 \
+	-state-dir "$state_dir" >"$serve_dir/fleetd_wal.log" 2>&1 &
+wal_pid=$!
+trap 'kill "$decoded_pid" "$fleetd_pid" "$wal_pid" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
+wal_url=""
+for _ in $(seq 1 100); do
+	wal_url="$(sed -n 's#.* on \(http://[0-9.:]*\) .*#\1#p' "$serve_dir/fleetd_wal.log" | head -n 1)"
+	[ -n "$wal_url" ] && break
+	sleep 0.1
+done
+test -n "$wal_url" || { cat "$serve_dir/fleetd_wal.log"; exit 1; }
+# Wait until every simulated node has reported in, then SIGKILL the
+# coordinator — no snapshot, no clean close; the WAL is all it gets.
+total=""
+for _ in $(seq 1 100); do
+	total="$(curl -sf "$wal_url/v1/fleet?top=1" | grep -o '"total":[0-9]*' | cut -d: -f2)"
+	[ "$total" = "50" ] && break
+	sleep 0.1
+done
+test "$total" = "50" || { echo "fleet never reached 50 nodes"; cat "$serve_dir/fleetd_wal.log"; exit 1; }
+kill -9 "$wal_pid"
+wait "$wal_pid" 2>/dev/null || true
+# Recover: an empty fleetd (-nodes 0) over the same state dir must
+# replay the WAL and serve the full pre-kill fleet picture.
+"$serve_dir/fleetd" -addr 127.0.0.1:0 -nodes 0 \
+	-state-dir "$state_dir" >"$serve_dir/fleetd_rec.log" 2>&1 &
+wal_pid=$!
+rec_url=""
+for _ in $(seq 1 100); do
+	rec_url="$(sed -n 's#.* on \(http://[0-9.:]*\) .*#\1#p' "$serve_dir/fleetd_rec.log" | head -n 1)"
+	[ -n "$rec_url" ] && break
+	sleep 0.1
+done
+test -n "$rec_url" || { cat "$serve_dir/fleetd_rec.log"; exit 1; }
+grep -q 'durable state in' "$serve_dir/fleetd_rec.log" || { echo "no recovery log line"; cat "$serve_dir/fleetd_rec.log"; exit 1; }
+rec_fleet="$(curl -sf "$rec_url/v1/fleet?top=1")"
+echo "$rec_fleet" | grep -q '"total":50' || { echo "recovered fleet lost nodes: $rec_fleet"; cat "$serve_dir/fleetd_rec.log"; exit 1; }
+echo "$rec_fleet" | grep -q '"id":"node-' || { echo "recovered fleet has no ranked node: $rec_fleet"; exit 1; }
+kill -INT "$wal_pid"
+wait "$wal_pid"
+
 echo "== bench smoke: cmd/bench -fleet -quick =="
 go run ./cmd/bench -fleet -quick -out "$serve_dir/bench_fleet.json" >/dev/null
 test -s "$serve_dir/bench_fleet.json"
