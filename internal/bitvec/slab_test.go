@@ -1,0 +1,115 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// slabEdgeBlocks returns the edge-pattern blocks the round-trip property
+// must survive: all-zero, all-one, and single-bit-per-lane entries.
+func slabEdgeBlocks() [][]V288 {
+	var allOne V288
+	for i := 0; i < EntryBits; i++ {
+		allOne = allOne.SetBit(i, 1)
+	}
+	zeros := make([]V288, SlabLanes)
+	ones := make([]V288, SlabLanes)
+	diag := make([]V288, SlabLanes)
+	stride := make([]V288, SlabLanes)
+	for j := 0; j < SlabLanes; j++ {
+		ones[j] = allOne
+		diag[j] = V288{}.SetBit(j, 1)
+		stride[j] = V288{}.SetBit((j*37+j)%EntryBits, 1)
+	}
+	return [][]V288{zeros, ones, diag, stride}
+}
+
+// TestSlabRoundTrip drives Transpose64/Untranspose64 over random and
+// edge-pattern blocks: they must be exact inverses, the slab must place
+// entry j's bit p at Slab[p] bit j, and lanes past the entry count must
+// stay zero — including every ragged tail length below 64.
+func TestSlabRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x51AB))
+	blocks := slabEdgeBlocks()
+	for b := 0; b < 8; b++ {
+		blk := make([]V288, SlabLanes)
+		for j := range blk {
+			for w := 0; w < 4; w++ {
+				blk[j][w] = rng.Uint64()
+			}
+			blk[j][4] = rng.Uint64() & 0xFFFFFFFF
+		}
+		blocks = append(blocks, blk)
+	}
+
+	for bi, blk := range blocks {
+		for _, n := range []int{0, 1, 2, 3, 7, 31, 32, 33, 63, 64} {
+			entries := blk[:n]
+			var slab Slab
+			Transpose64(entries, &slab)
+
+			// Direct definition check: Slab[p] bit j == entry j bit p.
+			for p := 0; p < EntryBits; p++ {
+				lane := slab[p]
+				for j := 0; j < n; j++ {
+					if got, want := uint(lane>>uint(j))&1, entries[j].Bit(p); got != want {
+						t.Fatalf("block %d n=%d: slab[%d] bit %d = %d, want %d", bi, n, p, j, got, want)
+					}
+				}
+				if n < 64 && lane>>uint(n) != 0 {
+					t.Fatalf("block %d n=%d: slab[%d] has bits set past lane %d", bi, n, p, n)
+				}
+			}
+
+			back := make([]V288, n)
+			Untranspose64(&slab, back)
+			for j := 0; j < n; j++ {
+				if back[j] != entries[j] {
+					t.Fatalf("block %d n=%d: round trip diverges at entry %d:\ngot  %v\nwant %v", bi, n, j, back[j], entries[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSlabIgnoresStrayHighBits pins the canonicalization contract: bits
+// above the 288th in an entry's top word never reach the slab.
+func TestSlabIgnoresStrayHighBits(t *testing.T) {
+	dirty := []V288{{1, 2, 3, 4, 0xDEADBEEF_00000005}}
+	var slab Slab
+	Transpose64(dirty, &slab)
+	back := make([]V288, 1)
+	Untranspose64(&slab, back)
+	want := dirty[0]
+	want[4] &= 0xFFFFFFFF
+	if back[0] != want {
+		t.Fatalf("canonical round trip: got %v want %v", back[0], want)
+	}
+}
+
+func TestTransposeTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Transpose64 of 65 entries did not panic")
+		}
+	}()
+	var slab Slab
+	Transpose64(make([]V288, SlabLanes+1), &slab)
+}
+
+func BenchmarkTranspose64(b *testing.B) {
+	entries := make([]V288, SlabLanes)
+	rng := rand.New(rand.NewSource(7))
+	for j := range entries {
+		for w := 0; w < 4; w++ {
+			entries[j][w] = rng.Uint64()
+		}
+		entries[j][4] = rng.Uint64() & 0xFFFFFFFF
+	}
+	var slab Slab
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose64(entries, &slab)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/SlabLanes, "ns/entry")
+}

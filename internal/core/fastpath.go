@@ -52,6 +52,10 @@ type binFast struct {
 	synTab [wireBytes][256]uint32
 	// corr[c][s] resolves nonzero syndrome s of codeword c.
 	corr [4][256]binCorr
+	// sliced holds the syndrome map as GF(2) parities for the 64-lane
+	// slab kernels (sliced.go); row 8c+r is row r of codeword c, matching
+	// the packed syndrome layout.
+	sliced slicedTables
 }
 
 // buildFast precomputes the fast-path tables from the reference ones; it
@@ -99,6 +103,15 @@ func (b *Binary) buildFast() {
 				}
 			}
 			b.fast.corr[c][s] = e
+		}
+	}
+	t := &b.fast.sliced
+	t.init(32)
+	for c := 0; c < 4; c++ {
+		for r := 0; r < gf2.R; r++ {
+			for _, p := range b.wireRows[c][r].Bits() {
+				t.add(8*c+r, p)
+			}
 		}
 	}
 }
@@ -198,11 +211,22 @@ func (b *Binary) decodeWireFast(recv bitvec.V288) WireResult {
 // evaluator's decode batch so one chunk covers one evaluator flush.
 const binBatchChunk = 256
 
-// DecodeWireBatch implements BatchDecoder. It runs two passes per chunk:
-// a tight syndrome sweep that keeps the lookup tables hot and lets the
-// loads of consecutive entries overlap, then the (usually trivial)
-// per-entry resolution.
+// DecodeWireBatch implements BatchDecoder. For entry arrays the
+// byte-sliced syndrome tables beat the bit-sliced slab kernel: the 64x64
+// bit transpose alone costs more than the whole two-pass table sweep
+// (~32ns vs ~15ns per clean entry on the reference machine, DESIGN.md
+// §14), so the slab path is reserved for callers that own slab-resident
+// data (DecodeSlab / ClassifyErrSlab).
 func (b *Binary) DecodeWireBatch(recv []bitvec.V288, out []WireResult) {
+	checkBatchOut(len(recv), len(out))
+	b.decodeWireBatchScalar(recv, out)
+}
+
+// decodeWireBatchScalar runs two passes per chunk: a tight syndrome sweep
+// that keeps the lookup tables hot and lets the loads of consecutive
+// entries overlap, then the (usually trivial) per-entry resolution.
+func (b *Binary) decodeWireBatchScalar(recv []bitvec.V288, out []WireResult) {
+	checkBatchOut(len(recv), len(out))
 	var synBuf [binBatchChunk]uint32
 	for off := 0; off < len(recv); off += binBatchChunk {
 		chunk := recv[off:min(off+binBatchChunk, len(recv))]
@@ -233,6 +257,10 @@ type symFast struct {
 	// for the byte-aligned SSC-DSD+ symbols, two nibbles for I:SSC).
 	segs [][][]symSegment
 	tab  *rscode.SynTab
+	// sliced holds the RS syndrome map as GF(2) parities for the 64-lane
+	// slab kernels (sliced.go); codeword cw's syndrome j occupies rows
+	// [8(cw·R+j), 8(cw·R+j)+8), low bit first.
+	sliced slicedTables
 }
 
 // buildFast precomputes the symbol extraction plans and syndrome table.
@@ -245,6 +273,16 @@ func (s *Symbol) buildFast() {
 		}
 	}
 	s.fast.tab = s.rs.NewSynTab()
+	t := &s.fast.sliced
+	t.init(len(s.layout) * s.rs.R * 8)
+	bitRows := s.rs.SynBitRows()
+	for cw := range s.layout {
+		for r, row := range bitRows {
+			for _, sb := range row {
+				t.add(cw*s.rs.R*8+r, int(s.layout[cw][sb>>3][sb&7]))
+			}
+		}
+	}
 }
 
 // buildSegments groups a symbol's 8 wire-bit positions into maximal runs
@@ -311,11 +349,19 @@ func (s *Symbol) decodeDSDPlusFast(recv bitvec.V288) WireResult {
 	return s.applyDSDPlus(recv, r)
 }
 
-// DecodeWireBatch implements BatchDecoder. Bounded-distance schemes (DSC,
-// SSC-TSD) have no table path and fall back to the reference decoder.
+// DecodeWireBatch implements BatchDecoder via the bit-sliced slab kernel:
+// per-entry RS decoding costs 36-54 table lookups even when clean, so for
+// symbol schemes the 64x64 transpose plus word-parallel syndrome lanes
+// win outright (unlike the binary schemes, see Binary.DecodeWireBatch).
+// Bounded-distance organizations (DSC, SSC-TSD) share the clean-lane
+// screen and rerun their scalar decode only on dirty lanes.
 func (s *Symbol) DecodeWireBatch(recv []bitvec.V288, out []WireResult) {
-	for i := range recv {
-		out[i] = s.DecodeWire(recv[i])
+	checkBatchOut(len(recv), len(out))
+	var slab bitvec.Slab
+	for off := 0; off < len(recv); off += bitvec.SlabLanes {
+		chunk := recv[off:min(off+bitvec.SlabLanes, len(recv))]
+		bitvec.Transpose64(chunk, &slab)
+		s.DecodeSlab(&slab, chunk, out[off:off+len(chunk)])
 	}
 }
 

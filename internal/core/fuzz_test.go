@@ -29,6 +29,75 @@ func fuzzSeedWords() [][]byte {
 	return [][]byte{zero, ramp, dense}
 }
 
+// FuzzSlicedVsScalarBatch builds a ragged batch (1..64 entries) out of
+// arbitrary bytes and requires the bit-sliced slab kernel, the per-entry
+// scalar fast path, and both batch entry points (DecodeWireBatch and the
+// always-scalar AsScalarBatchDecoder) to agree lane for lane on every
+// scheme.
+func FuzzSlicedVsScalarBatch(f *testing.F) {
+	for _, s := range fuzzSeedWords() {
+		f.Add(s)
+	}
+	long := make([]byte, 36*5+17)
+	for i := range long {
+		long[i] = byte(i*29 + 3)
+	}
+	f.Add(long)
+	schemes := allSchemesDiff()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		// Each full 36-byte block is one entry; a ragged tail is padded
+		// with zero bytes so arbitrary lengths still contribute an entry.
+		n := (len(raw) + 35) / 36
+		if n > bitvec.SlabLanes {
+			n = bitvec.SlabLanes
+		}
+		recv := make([]bitvec.V288, n)
+		padded := make([]byte, 36)
+		for i := 0; i < n; i++ {
+			blk := raw[i*36:]
+			if len(blk) >= 36 {
+				recv[i] = v288FromBytes(blk)
+			} else {
+				copy(padded, blk)
+				for j := len(blk); j < 36; j++ {
+					padded[j] = 0
+				}
+				recv[i] = v288FromBytes(padded)
+			}
+		}
+		var slab bitvec.Slab
+		bitvec.Transpose64(recv, &slab)
+		slabOut := make([]WireResult, n)
+		batchOut := make([]WireResult, n)
+		scalarOut := make([]WireResult, n)
+		for _, s := range schemes {
+			sd, ok := AsSlabDecoder(s)
+			if !ok {
+				t.Fatalf("%s does not expose a slab decoder", s.Name())
+			}
+			sd.DecodeSlab(&slab, recv, slabOut)
+			AsBatchDecoder(s).DecodeWireBatch(recv, batchOut)
+			AsScalarBatchDecoder(s).DecodeWireBatch(recv, scalarOut)
+			for i := 0; i < n; i++ {
+				want := s.DecodeWire(recv[i])
+				if slabOut[i] != want {
+					t.Fatalf("%s lane %d/%d: slab %+v != scalar %+v on %v",
+						s.Name(), i, n, slabOut[i], want, recv[i])
+				}
+				if batchOut[i] != want {
+					t.Fatalf("%s lane %d/%d: batch %+v != scalar %+v", s.Name(), i, n, batchOut[i], want)
+				}
+				if scalarOut[i] != want {
+					t.Fatalf("%s lane %d/%d: scalar batch %+v != scalar %+v", s.Name(), i, n, scalarOut[i], want)
+				}
+			}
+		}
+	})
+}
+
 // FuzzDecodeFastVsRef throws arbitrary 36-byte received words at every
 // scheme: the table-driven fast path (single and batch) must agree
 // bit-for-bit with the reference decoder, no decoder may panic, and a

@@ -73,8 +73,10 @@ type Scheme interface {
 // path: one interface call decodes a whole batch, amortizing dynamic
 // dispatch out of the Monte-Carlo per-trial path and keeping the decode
 // tables hot. out[i] receives the result of decoding recv[i]; len(out)
-// must be at least len(recv). Implementations are safe for concurrent
-// use: distinct goroutines may decode distinct batches on one scheme.
+// must be at least len(recv) — every implementation (including the
+// AsBatchDecoder fallback) panics with a clear message when it is not.
+// Implementations are safe for concurrent use: distinct goroutines may
+// decode distinct batches on one scheme.
 type BatchDecoder interface {
 	DecodeWireBatch(recv []bitvec.V288, out []WireResult)
 }
@@ -100,6 +102,7 @@ func AsBatchDecoder(s Scheme) BatchDecoder {
 type loopBatch struct{ s Scheme }
 
 func (l loopBatch) DecodeWireBatch(recv []bitvec.V288, out []WireResult) {
+	checkBatchOut(len(recv), len(out))
 	for i := range recv {
 		out[i] = l.s.DecodeWire(recv[i])
 	}

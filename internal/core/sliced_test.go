@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math/bits"
+	"strings"
+	"sync"
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/ecc"
+	"hbm2ecc/internal/errormodel"
+)
+
+// slabBuilder accumulates error patterns into a transposed error slab the
+// way the evaluator does, so tests drive ClassifyErrSlab through the same
+// insertion discipline.
+type slabBuilder struct {
+	eslab   bitvec.Slab
+	touched []uint16
+	seen    [5]uint64
+	n       int
+}
+
+func (sb *slabBuilder) add(e bitvec.V288) {
+	for w := 0; w < 5; w++ {
+		m := e[w]
+		if w == 4 {
+			m &= 0xFFFFFFFF
+		}
+		for ; m != 0; m &= m - 1 {
+			p := w<<6 + bits.TrailingZeros64(m)
+			if sb.seen[w]>>uint(p&63)&1 == 0 {
+				sb.seen[w] |= 1 << uint(p&63)
+				sb.touched = append(sb.touched, uint16(p))
+			}
+			sb.eslab[p] |= 1 << uint(sb.n)
+		}
+	}
+	sb.n++
+}
+
+func (sb *slabBuilder) reset() {
+	for _, p := range sb.touched {
+		sb.eslab[p] = 0
+		sb.seen[p>>6] &^= 1 << uint(p&63)
+	}
+	sb.touched = sb.touched[:0]
+	sb.n = 0
+}
+
+// TestDifferentialSlicedVsRef drives the slab kernels against the
+// reference decoder for every scheme: DecodeSlab on transposed 64-lane
+// batches and ClassifyErrSlab on the matching error slabs, over the
+// exhaustive 1-bit, pin, byte and 2-bit classes plus seeded samples of
+// the 3-bit, beat and entry classes. Any divergence in wire image,
+// status, corrected-bit count or outcome tally fails.
+func TestDifferentialSlicedVsRef(t *testing.T) {
+	const sampledPerClass = 2000
+	for _, s := range allSchemesDiff() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			rd := s.(RefDecoder)
+			sd, ok := AsSlabDecoder(s)
+			if !ok {
+				t.Fatalf("%s does not expose a slab decoder", s.Name())
+			}
+			sc := s.(SlabClassifier)
+			wire := s.Encode(diffData())
+
+			var sb slabBuilder
+			var errs [bitvec.SlabLanes]bitvec.V288
+			recv := make([]bitvec.V288, bitvec.SlabLanes)
+			out := make([]WireResult, bitvec.SlabLanes)
+			var slab bitvec.Slab
+			flush := func() {
+				if sb.n == 0 {
+					return
+				}
+				n := sb.n
+				var wantDCE, wantDUE, wantSDC int
+				for i := 0; i < n; i++ {
+					recv[i] = wire.Xor(errs[i])
+					switch ref := rd.DecodeWireRef(recv[i]); {
+					case ref.Status == ecc.Detected:
+						wantDUE++
+					case ref.Wire == wire:
+						wantDCE++
+					default:
+						wantSDC++
+					}
+				}
+				bitvec.Transpose64(recv[:n], &slab)
+				sd.DecodeSlab(&slab, recv[:n], out[:n])
+				for i := 0; i < n; i++ {
+					if ref := rd.DecodeWireRef(recv[i]); out[i] != ref {
+						t.Fatalf("DecodeSlab lane %d diverges on error %v (pattern %s):\nsliced: %+v\nref:    %+v",
+							i, errs[i], errormodel.Classify(errs[i]), out[i], ref)
+					}
+				}
+				dce, due, sdc := sc.ClassifyErrSlab(&sb.eslab, sb.touched, wire, recv[:n])
+				if dce != wantDCE || due != wantDUE || sdc != wantSDC {
+					t.Fatalf("ClassifyErrSlab tally (dce=%d due=%d sdc=%d) != reference (dce=%d due=%d sdc=%d)",
+						dce, due, sdc, wantDCE, wantDUE, wantSDC)
+				}
+				sb.reset()
+			}
+			check := func(e bitvec.V288) {
+				errs[sb.n] = e
+				sb.add(e)
+				if sb.n == bitvec.SlabLanes {
+					flush()
+				}
+			}
+
+			for p := errormodel.Bit1; p <= errormodel.Bits2; p++ {
+				errormodel.Enumerate(p, check)
+			}
+			smp := errormodel.NewSampler(0x51ABD1FF)
+			for _, p := range []errormodel.Pattern{errormodel.Bits3, errormodel.Beat1, errormodel.Entry1} {
+				for i := 0; i < sampledPerClass; i++ {
+					check(smp.Sample(p))
+				}
+			}
+			// The clean entry, plus a zero-syndrome nonzero error (the XOR
+			// of two codewords) that must classify as SDC without a decode.
+			check(bitvec.V288{})
+			var d2 [bitvec.DataBytes]byte
+			d2[0] = 0x01
+			check(wire.Xor(s.Encode(d2)))
+			flush()
+		})
+	}
+}
+
+// TestSlicedMixedBatch interleaves clean, correctable and DUE entries in
+// one 64-lane slab for every scheme, so a lane-masking or screening bug
+// that favors homogeneous batches cannot hide. Construction guarantees
+// all three statuses are present, and the slab results must match
+// per-entry decoding lane for lane.
+func TestSlicedMixedBatch(t *testing.T) {
+	for _, s := range allSchemesDiff() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			sd, _ := AsSlabDecoder(s)
+			wire := s.Encode(diffData())
+
+			// A 1-bit error is correctable under every scheme; hunt for a
+			// deterministic DUE pattern among 3-bit samples.
+			smp := errormodel.NewSampler(0xD0E)
+			var due bitvec.V288
+			found := false
+			for i := 0; i < 10000 && !found; i++ {
+				e := smp.Sample(errormodel.Bits3)
+				if s.DecodeWire(wire.Xor(e)).Status == ecc.Detected {
+					due, found = e, true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: no DUE pattern found in 10000 3-bit samples", s.Name())
+			}
+
+			recv := make([]bitvec.V288, bitvec.SlabLanes)
+			statuses := map[ecc.Status]int{}
+			for i := range recv {
+				switch i % 3 {
+				case 0:
+					recv[i] = wire
+				case 1:
+					recv[i] = wire.FlipBit((i * 37) % bitvec.EntryBits)
+				default:
+					recv[i] = wire.Xor(due)
+				}
+				statuses[s.DecodeWire(recv[i]).Status]++
+			}
+			for _, st := range []ecc.Status{ecc.OK, ecc.Corrected, ecc.Detected} {
+				if statuses[st] == 0 {
+					t.Fatalf("%s: construction produced no %v entries", s.Name(), st)
+				}
+			}
+
+			// Every ragged prefix, so the lane mask is exercised at each
+			// boundary class (0, 1, partial word, full slab).
+			for _, n := range []int{1, 2, 3, 31, 32, 33, 63, 64} {
+				var slab bitvec.Slab
+				bitvec.Transpose64(recv[:n], &slab)
+				out := make([]WireResult, n)
+				sd.DecodeSlab(&slab, recv[:n], out)
+				for i := 0; i < n; i++ {
+					if want := s.DecodeWire(recv[i]); out[i] != want {
+						t.Fatalf("%s: mixed slab n=%d lane %d: got %+v want %+v", s.Name(), n, i, out[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchOutContract pins the explicit len(out) >= len(recv) contract:
+// every batch entry point must panic with a clear message instead of
+// silently truncating or corrupting memory.
+func TestBatchOutContract(t *testing.T) {
+	mustPanic := func(t *testing.T, name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic on short output buffer", name)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "output buffer too small") {
+				t.Fatalf("%s: panic %v does not explain the contract", name, r)
+			}
+		}()
+		fn()
+	}
+
+	recv := make([]bitvec.V288, 8)
+	short := make([]WireResult, 7)
+	var slab bitvec.Slab
+	bitvec.Transpose64(recv, &slab)
+	for _, s := range []Scheme{NewDuetECC(), NewSSCDSDPlus(), NewReconfigurable()} {
+		s := s
+		mustPanic(t, s.Name()+"/DecodeWireBatch", func() {
+			AsBatchDecoder(s).DecodeWireBatch(recv, short)
+		})
+		mustPanic(t, s.Name()+"/DecodeSlab", func() {
+			sd, _ := AsSlabDecoder(s)
+			sd.DecodeSlab(&slab, recv, short)
+		})
+		mustPanic(t, s.Name()+"/ScalarBatch", func() {
+			AsScalarBatchDecoder(s).DecodeWireBatch(recv, short)
+		})
+	}
+	s := NewDuetECC()
+	mustPanic(t, "loopBatch fallback", func() {
+		AsBatchDecoder(struct{ Scheme }{s}).DecodeWireBatch(recv, short)
+	})
+
+	// An exactly-sized and an oversized buffer must both be accepted.
+	AsBatchDecoder(s).DecodeWireBatch(recv, make([]WireResult, 8))
+	AsBatchDecoder(s).DecodeWireBatch(recv, make([]WireResult, 9))
+}
+
+// TestConcurrentSlicedDeterminism hammers one scheme's shared sliced
+// tables from many goroutines (run under -race): every worker decodes the
+// same slabs and classifies the same error slabs, and all results must be
+// identical to the sequentially computed ones.
+func TestConcurrentSlicedDeterminism(t *testing.T) {
+	for _, s := range []Scheme{NewTrioECC(), NewSSCDSDPlus()} {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			sd, _ := AsSlabDecoder(s)
+			sc := s.(SlabClassifier)
+			wire := s.Encode(diffData())
+			smp := errormodel.NewSampler(7)
+
+			const nBatches = 8
+			type batch struct {
+				recv    []bitvec.V288
+				slab    bitvec.Slab
+				eslab   bitvec.Slab
+				touched []uint16
+				want    []WireResult
+				wantDCE int
+				wantDUE int
+				wantSDC int
+			}
+			batches := make([]*batch, nBatches)
+			for bi := range batches {
+				b := &batch{recv: make([]bitvec.V288, bitvec.SlabLanes)}
+				var sb slabBuilder
+				for i := range b.recv {
+					e := smp.Sample(errormodel.Byte1)
+					if i%2 == 0 {
+						e = bitvec.V288{}
+					}
+					sb.add(e)
+					b.recv[i] = wire.Xor(e)
+				}
+				b.eslab = sb.eslab
+				b.touched = append([]uint16(nil), sb.touched...)
+				bitvec.Transpose64(b.recv, &b.slab)
+				b.want = make([]WireResult, bitvec.SlabLanes)
+				sd.DecodeSlab(&b.slab, b.recv, b.want)
+				b.wantDCE, b.wantDUE, b.wantSDC = sc.ClassifyErrSlab(&b.eslab, b.touched, wire, b.recv)
+				batches[bi] = b
+			}
+
+			var wg sync.WaitGroup
+			errCh := make(chan string, 16)
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out := make([]WireResult, bitvec.SlabLanes)
+					for rep := 0; rep < 50; rep++ {
+						for bi, b := range batches {
+							sd.DecodeSlab(&b.slab, b.recv, out)
+							for i := range out {
+								if out[i] != b.want[i] {
+									errCh <- "DecodeSlab diverged"
+									return
+								}
+							}
+							dce, due, sdc := sc.ClassifyErrSlab(&b.eslab, b.touched, wire, b.recv)
+							if dce != b.wantDCE || due != b.wantDUE || sdc != b.wantSDC {
+								errCh <- "ClassifyErrSlab diverged"
+								return
+							}
+							_ = bi
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			if msg, open := <-errCh; open {
+				t.Fatal(msg)
+			}
+		})
+	}
+}

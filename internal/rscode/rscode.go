@@ -200,6 +200,32 @@ func (t *SynTab) Syndromes(cw, syn []uint8) {
 	}
 }
 
+// SynBitRows returns the GF(2) linearization of Syndromes. Multiplication
+// by a constant is GF(2)-linear over the 8 bits of a GF(2^8) symbol, so
+// every bit of every syndrome is an XOR (parity) of a fixed set of
+// codeword bits. Row r = 8j+b lists the codeword bit indices (symbol*8 +
+// bit, ascending) whose parity equals bit b of syndrome j. The bit-sliced
+// batch kernels (internal/core) rewrite these rows into wire-lane space so
+// one XOR of 64-entry lane words evaluates a syndrome bit for a whole
+// batch at once.
+func (c *Code) SynBitRows() [][]uint16 {
+	rows := make([][]uint16, 8*c.R)
+	for j := 0; j < c.R; j++ {
+		for i := 0; i < c.N; i++ {
+			coeff := c.pow[j][i]
+			for k := 0; k < 8; k++ {
+				m := c.F.Mul(coeff, 1<<uint(k))
+				for b := 0; b < 8; b++ {
+					if m>>uint(b)&1 != 0 {
+						rows[8*j+b] = append(rows[8*j+b], uint16(8*i+k))
+					}
+				}
+			}
+		}
+	}
+	return rows
+}
+
 // Result is the outcome of decoding one RS codeword.
 type Result struct {
 	Status ecc.Status

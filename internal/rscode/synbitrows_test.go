@@ -1,0 +1,104 @@
+package rscode
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/gf256"
+)
+
+// synViaBitRows evaluates the GF(2)-linearized syndromes: bit b of
+// syndrome j is the parity of the codeword bits listed in row 8j+b.
+func synViaBitRows(c *Code, rows [][]uint16, cw []uint8) []uint8 {
+	syn := make([]uint8, c.R)
+	for r, row := range rows {
+		var p uint8
+		for _, bit := range row {
+			p ^= cw[bit>>3] >> uint(bit&7) & 1
+		}
+		syn[r>>3] |= p << uint(r&7)
+	}
+	return syn
+}
+
+// TestSynBitRowsMatchesSyndromes checks the GF(2) linearization against
+// the scalar GF(256) syndrome computation on deterministic words for both
+// codes the schemes instantiate: the (18,16) SSC code and the (36,32)
+// SSC-DSD+ code.
+func TestSynBitRowsMatchesSyndromes(t *testing.T) {
+	for _, dims := range [][2]int{{18, 16}, {36, 32}} {
+		c, err := New(gf256.Default(), dims[0], dims[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := c.SynBitRows()
+		if len(rows) != 8*c.R {
+			t.Fatalf("(%d,%d): %d rows, want %d", dims[0], dims[1], len(rows), 8*c.R)
+		}
+		cw := make([]uint8, c.N)
+		want := make([]uint8, c.R)
+		for trial := 0; trial < 256; trial++ {
+			for i := range cw {
+				cw[i] = uint8(trial*31 + i*97 + trial*i)
+			}
+			c.Syndromes(cw, want)
+			got := synViaBitRows(c, rows, cw)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("(%d,%d) trial %d: bit-row syndrome %d = %#x, scalar %#x",
+						dims[0], dims[1], trial, j, got[j], want[j])
+				}
+			}
+		}
+		// Single-bit words isolate each column of the linearization.
+		for bit := 0; bit < 8*c.N; bit++ {
+			for i := range cw {
+				cw[i] = 0
+			}
+			cw[bit>>3] = 1 << uint(bit&7)
+			c.Syndromes(cw, want)
+			got := synViaBitRows(c, rows, cw)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("(%d,%d) bit %d: bit-row syndrome %d = %#x, scalar %#x",
+						dims[0], dims[1], bit, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// FuzzSynBitRowsVsSyndromes feeds arbitrary bytes through both syndrome
+// computations — the GF(2) bit-row parities that back the byte-sliced
+// slab kernel, and the scalar GF(256) Horner evaluation — and requires
+// byte-identical syndromes.
+func FuzzSynBitRowsVsSyndromes(f *testing.F) {
+	f.Add(make([]byte, 36))
+	seed := make([]byte, 36)
+	for i := range seed {
+		seed[i] = byte(i*13 + 5)
+	}
+	f.Add(seed)
+	f.Add([]byte{0xFF})
+	ssc, _ := New(gf256.Default(), 18, 16)
+	dsd, _ := New(gf256.Default(), 36, 32)
+	sscRows := ssc.SynBitRows()
+	dsdRows := dsd.SynBitRows()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		for _, tc := range []struct {
+			c    *Code
+			rows [][]uint16
+		}{{ssc, sscRows}, {dsd, dsdRows}} {
+			cw := make([]uint8, tc.c.N)
+			copy(cw, raw)
+			want := make([]uint8, tc.c.R)
+			tc.c.Syndromes(cw, want)
+			got := synViaBitRows(tc.c, tc.rows, cw)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("(%d,%d): bit-row syndrome %d = %#x, scalar %#x",
+						tc.c.N, tc.c.K, j, got[j], want[j])
+				}
+			}
+		}
+	})
+}

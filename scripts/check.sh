@@ -24,13 +24,17 @@ go test -race ./...
 echo "== chaos soak: go test -run Chaos -race -count=2 =="
 go test -run Chaos -race -count=2 ./internal/chaos/... ./internal/gpusim/... ./internal/healthd/...
 
+echo "== short fuzz: sliced kernels vs scalar reference =="
+go test -run '^$' -fuzz FuzzSlicedVsScalarBatch -fuzztime 10s ./internal/core/
+go test -run '^$' -fuzz FuzzSynBitRowsVsSyndromes -fuzztime 10s ./internal/rscode/
+
 echo "== bench smoke: one iteration of every benchmark =="
 HBM2ECC_MC_SAMPLES=2000 HBM2ECC_CAMPAIGN_RUNS=20 \
 	go test -run '^$' -bench . -benchtime 1x ./...
 
-echo "== bench smoke: cmd/bench -quick =="
+echo "== bench smoke: cmd/bench -quick -gate (sliced >= scalar clean-path) =="
 bench_out="${TMPDIR:-/tmp}/hbm2ecc_bench_smoke.json"
-go run ./cmd/bench -quick -out "$bench_out" >/dev/null
+go run ./cmd/bench -quick -gate -out "$bench_out" >/dev/null
 test -s "$bench_out"
 rm -f "$bench_out"
 
