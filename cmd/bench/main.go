@@ -364,6 +364,7 @@ func main() {
 	clusterBench := flag.Bool("cluster", false, "benchmark the distributed campaign engine's 1/2/4-worker scaling instead of decode throughput")
 	serveBench := flag.Bool("serve", false, "benchmark the online decode service (single vs micro-batched) instead of decode throughput")
 	fleetBench := flag.Bool("fleet", false, "benchmark the fleet health plane (10k-node agent/coordinator pipeline) instead of decode throughput")
+	workloadBench := flag.Bool("workload", false, "benchmark the workload outcome engine (kernel runs/sec, resume differential) instead of decode throughput")
 	gate := flag.Bool("gate", false, "regression gate: fail unless every scheme's slab-resident clean-mix path is at least as fast as its scalar batch path")
 	seed := flag.Int64("seed", 2021, "corpus and evaluation seed")
 	corpus := flag.Int("corpus", 8192, "received words per decode corpus")
@@ -402,6 +403,16 @@ func main() {
 			*out = "BENCH_fleet.json"
 		}
 		if err := runFleetBench(*out, *seed, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workloadBench {
+		if *out == "" {
+			*out = "BENCH_workload.json"
+		}
+		if err := runWorkloadBench(*out, *seed, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

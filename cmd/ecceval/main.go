@@ -42,10 +42,22 @@ func main() {
 		"resume from this checkpoint file (same -seed/-samples required)")
 	metrics := flag.String("metrics", "",
 		"instrument every scheme's decode path and dump all metrics in Prometheus text format to this file on exit (\"-\" = stdout)")
+	wl := flag.Bool("workload", false,
+		"run the workload outcome engine instead: GEMM/reduction/DNN kernels over faulted device memory, per-scheme masked/SDC/DUE/crash tables and end-to-end FIT")
+	wlRuns := flag.Int("workload-runs", 400, "fault-injection runs per (scheme, kernel) cell with -workload")
+	wlSchemes := flag.String("workload-schemes", "",
+		"comma-separated scheme list for -workload (\"none\" = ECC off; default none,DuetECC,TrioECC,SSC-DSD+)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *wl {
+		if err := runWorkload(ctx, *seed, *wlRuns, *wlSchemes, *checkpoint, *resume); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	names := core.Table2Names()
 	if *withDSC {

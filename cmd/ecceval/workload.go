@@ -1,0 +1,85 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hbm2ecc/internal/faults"
+	"hbm2ecc/internal/workload"
+)
+
+// runWorkload drives the workload outcome engine (-workload): the
+// scheme x kernel campaign with mid-run fault injection, reported as
+// per-kernel outcome tables plus the end-to-end FIT comparison. It
+// shares ecceval's checkpoint discipline: -checkpoint snapshots every
+// completed cell, SIGINT exits cleanly, -resume skips completed cells
+// with byte-identical results.
+func runWorkload(ctx context.Context, seed int64, runs int, schemeList, checkpoint, resume string) error {
+	opts := workload.Options{Seed: seed, Runs: runs, Parallel: true, Ctx: ctx}
+	if schemeList != "" {
+		opts.Schemes = strings.Split(schemeList, ",")
+		for _, s := range opts.Schemes {
+			if _, err := workload.SchemeFor(s); err != nil {
+				return err
+			}
+		}
+	}
+
+	ckpt, path, err := loadOrNewWorkloadCheckpoint(opts, checkpoint, resume)
+	if err != nil {
+		return err
+	}
+	if ckpt != nil {
+		opts.Resume = ckpt.Lookup
+		opts.Progress = func(scheme string, k workload.Kernel, r workload.CellResult) {
+			ckpt.Store(scheme, k, r)
+			if path != "" {
+				if err := ckpt.Save(path); err != nil {
+					log.Fatalf("writing checkpoint: %v", err)
+				}
+			}
+		}
+	}
+
+	results, err := workload.Campaign(opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			if path != "" {
+				fmt.Printf("interrupted with %d cells complete; resume with -resume %s\n", ckpt.Cells(), path)
+			} else {
+				fmt.Println("interrupted (no -checkpoint path; progress not saved)")
+			}
+			return nil
+		}
+		return err
+	}
+	workload.WriteReport(os.Stdout, results, faults.DefaultSourceFIT)
+	return nil
+}
+
+// loadOrNewWorkloadCheckpoint mirrors loadOrNewCheckpoint for the
+// workload campaign's checkpoint format.
+func loadOrNewWorkloadCheckpoint(opts workload.Options, checkpoint, resume string) (*workload.Checkpoint, string, error) {
+	path := checkpoint
+	if resume != "" {
+		loaded, err := workload.LoadCheckpoint(resume)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading checkpoint: %w", err)
+		}
+		if err := loaded.Compatible(opts); err != nil {
+			return nil, "", err
+		}
+		if path == "" {
+			path = resume
+		}
+		fmt.Printf("Resuming workload campaign from %s: %d cells complete.\n", resume, loaded.Cells())
+		return loaded, path, nil
+	}
+	if path != "" {
+		return workload.NewCheckpoint(opts), path, nil
+	}
+	return nil, "", nil
+}

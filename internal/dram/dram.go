@@ -69,6 +69,9 @@ type Device struct {
 
 	corrupt map[int64]*Corruption
 	weak    map[int64][]WeakCell
+	// rewriteAt records per-entry rewrite times (RewriteEntry); a weak
+	// cell's leak clock starts at the entry's most recent write.
+	rewriteAt map[int64]float64
 	// retentionShift models annealing: it is added to every weak cell's
 	// retention time.
 	retentionShift float64
@@ -97,6 +100,24 @@ func (d *Device) WriteAll(pat PatternFn, t float64) {
 	d.pattern = pat
 	d.lastWrite = t
 	d.corrupt = make(map[int64]*Corruption)
+	d.rewriteAt = nil
+}
+
+// RewriteEntry models a single-entry store at time t: the stored charge
+// of one 32B entry is replaced, so soft-error corruption recorded on it
+// clears (exactly as WriteAll clears the whole device) and its weak
+// cells' leak clocks restart at t. The new data itself comes from the
+// installed pattern source — callers that rewrite entries (the workload
+// layer) own a mutable backing store their PatternFn reads through, so
+// the device never materializes payloads.
+func (d *Device) RewriteEntry(idx int64, t float64) {
+	delete(d.corrupt, idx)
+	if len(d.weak[idx]) > 0 {
+		if d.rewriteAt == nil {
+			d.rewriteAt = make(map[int64]float64)
+		}
+		d.rewriteAt[idx] = t
+	}
 }
 
 // SetECCGenerator installs a check-byte generator so that reads reconstruct
@@ -166,9 +187,13 @@ func (d *Device) ReadWire(idx int64, t float64) bitvec.V288 {
 		}
 		wire = wire.Xor(c.Xor)
 	}
+	written := d.lastWrite
+	if rt, ok := d.rewriteAt[idx]; ok && rt > written {
+		written = rt
+	}
 	for _, w := range d.weak[idx] {
 		eff := w.Retention + d.retentionShift
-		if eff < d.RefreshPeriod && t-d.lastWrite > eff {
+		if eff < d.RefreshPeriod && t-written > eff {
 			if wire.Bit(w.Bit) != w.LeakTo&1 {
 				wire = wire.SetBit(w.Bit, w.LeakTo)
 			}

@@ -186,3 +186,42 @@ func TestECCGenerator(t *testing.T) {
 		t.Fatalf("ecc area = %v", ecc)
 	}
 }
+
+func TestRewriteEntryClearsCorruptionAndRestartsLeak(t *testing.T) {
+	d := New(hbm2.V100(), 0.016)
+	d.WriteAll(patConst(0xFF), 0)
+
+	// Soft-error corruption is cleared by a rewrite (charge replaced).
+	var c Corruption
+	c.Xor = c.Xor.FlipBit(bitvec.ByteBase(0))
+	d.InjectCorruption(3, c)
+	if got := d.ReadEntry(3, 0.001); got[0] != 0xFE {
+		t.Fatalf("corruption not visible: %#x", got[0])
+	}
+	d.RewriteEntry(3, 0.002)
+	if got := d.ReadEntry(3, 0.003); got[0] != 0xFF {
+		t.Fatalf("rewrite did not clear corruption: %#x", got[0])
+	}
+
+	// A weak cell's leak clock restarts at the rewrite time.
+	d.AddWeakCell(9, WeakCell{Bit: bitvec.ByteBase(0), Retention: 0.008, LeakTo: 0})
+	if got := d.ReadEntry(9, 0.010); got[0] != 0xFE {
+		t.Fatalf("weak cell did not leak from t=0: %#x", got[0])
+	}
+	d.RewriteEntry(9, 0.009)
+	if got := d.ReadEntry(9, 0.012); got[0] != 0xFF {
+		t.Fatalf("rewrite did not restart leak clock: %#x", got[0])
+	}
+	if got := d.ReadEntry(9, 0.020); got[0] != 0xFE {
+		t.Fatalf("weak cell did not leak again after rewrite: %#x", got[0])
+	}
+
+	// A full-device write supersedes per-entry rewrite clocks.
+	d.WriteAll(patConst(0xFF), 1.0)
+	if got := d.ReadEntry(9, 1.004); got[0] != 0xFF {
+		t.Fatalf("cell leaked too early after WriteAll: %#x", got[0])
+	}
+	if got := d.ReadEntry(9, 1.010); got[0] != 0xFE {
+		t.Fatalf("cell did not leak after WriteAll: %#x", got[0])
+	}
+}

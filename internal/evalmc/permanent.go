@@ -98,16 +98,18 @@ func EvaluateWithPermanent(s core.Scheme, fault PermanentFault, opts Options) Pe
 	wr := s.DecodeWire(wire.Xor(perm))
 	res.CleanReadable = wr.Status != ecc.Detected && wr.Wire == wire
 
-	classify := func(e bitvec.V288) ecc.Outcome {
-		return classifyOutcome(s, wire, perm.Xor(e))
-	}
+	// One classifier per pattern, hoisted out of the trial loop: decode
+	// scratch lives in the batchClassifier, so the inner loop allocates
+	// nothing (pinned by TestEvaluateWithPermanentAllocs). Layering the
+	// standing fault under each soft error is a single XOR per trial.
 	for p := errormodel.Bit1; p < errormodel.NumPatterns; p++ {
 		r := PatternResult{Pattern: p}
+		bc := newBatchClassifier(s, wire, p)
 		if errormodel.EnumerableCount(p) >= 0 {
 			r.Exhaustive = true
 			errormodel.Enumerate(p, func(e bitvec.V288) {
 				r.N++
-				tally(&r, classify(e))
+				bc.add(perm.Xor(e))
 			})
 		} else {
 			n := opts.Samples3b
@@ -120,21 +122,12 @@ func EvaluateWithPermanent(s core.Scheme, fault PermanentFault, opts Options) Pe
 			smp := errormodel.NewSampler(opts.Seed + int64(p)*7_919)
 			for i := 0; i < n; i++ {
 				r.N++
-				tally(&r, classify(smp.Sample(p)))
+				bc.add(perm.Xor(smp.Sample(p)))
 			}
 		}
+		bc.flush()
+		r.DCE, r.DUE, r.SDC = bc.dce, bc.due, bc.sdc
 		res.PerPattern[p] = r
 	}
 	return res
-}
-
-func tally(r *PatternResult, o ecc.Outcome) {
-	switch o {
-	case ecc.DCE:
-		r.DCE++
-	case ecc.DUE:
-		r.DUE++
-	default:
-		r.SDC++
-	}
 }

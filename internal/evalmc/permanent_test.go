@@ -3,7 +3,9 @@ package evalmc
 import (
 	"testing"
 
+	"hbm2ecc/internal/bitvec"
 	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/ecc"
 	"hbm2ecc/internal/errormodel"
 )
 
@@ -125,5 +127,76 @@ func TestPermanentDeterministic(t *testing.T) {
 	b := EvaluateWithPermanent(core.NewDuetECC(), fault, permOpts())
 	if a != b {
 		t.Fatal("permanent evaluation must be deterministic")
+	}
+}
+
+// TestEvaluateWithPermanentScalarParity checks the batch-classified
+// evaluation against a trial-by-trial scalar reference: identical
+// sampler streams, identical outcome counts.
+func TestEvaluateWithPermanentScalarParity(t *testing.T) {
+	opts := permOpts()
+	opts.Samples3b, opts.SamplesBeat, opts.SamplesEntry = 400, 400, 400
+	fault := PermanentFault{Kind: PermanentByte, Index: 11, Value: 0}
+	for _, s := range []core.Scheme{core.NewDuetECC(), core.NewSSCDSDPlus()} {
+		got := EvaluateWithPermanent(s, fault, opts)
+		wire := s.Encode(opts.Data)
+		perm := fault.xorPattern(wire)
+		for p := errormodel.Bit1; p < errormodel.NumPatterns; p++ {
+			want := PatternResult{Pattern: p}
+			count := func(e bitvec.V288) {
+				want.N++
+				switch classifyOutcome(s, wire, perm.Xor(e)) {
+				case ecc.DCE:
+					want.DCE++
+				case ecc.DUE:
+					want.DUE++
+				default:
+					want.SDC++
+				}
+			}
+			if errormodel.EnumerableCount(p) >= 0 {
+				want.Exhaustive = true
+				errormodel.Enumerate(p, count)
+			} else {
+				smp := errormodel.NewSampler(opts.Seed + int64(p)*7_919)
+				for i := 0; i < 400; i++ {
+					count(smp.Sample(p))
+				}
+			}
+			if got.PerPattern[p] != want {
+				t.Errorf("%s %s: batch %+v != scalar %+v", s.Name(), p, got.PerPattern[p], want)
+			}
+		}
+	}
+}
+
+// TestEvaluateWithPermanentAllocs pins the hoisted-scratch refactor: the
+// trial loop of EvaluateWithPermanent — layer the standing fault, feed
+// the batch classifier — allocates nothing per trial. Binary schemes
+// decode fully in place, so the guarantee is exact for them; symbol
+// schemes still allocate inside the RS bounded-distance decoder, which
+// is that layer's own concern. (Pattern sampling allocates in
+// errormodel.Classify and is measured out by pre-drawing the errors.)
+func TestEvaluateWithPermanentAllocs(t *testing.T) {
+	opts := permOpts()
+	fault := PermanentFault{Kind: PermanentPin, Index: 9, Value: 0}
+	smp := errormodel.NewSampler(1)
+	errs := make([]bitvec.V288, 4096)
+	for i := range errs {
+		errs[i] = smp.Sample(errormodel.Bits3)
+	}
+	for _, s := range []core.Scheme{core.NewDuetECC(), core.NewTrioECC()} {
+		wire := s.Encode(opts.Data)
+		perm := fault.xorPattern(wire)
+		bc := newBatchClassifier(s, wire, errormodel.Bits3)
+		allocs := testing.AllocsPerRun(10, func() {
+			for _, e := range errs {
+				bc.add(perm.Xor(e))
+			}
+			bc.flush()
+		})
+		if allocs > 0 {
+			t.Errorf("%s: %.1f allocs per 4096-trial loop, want 0 (scratch not hoisted)", s.Name(), allocs)
+		}
 	}
 }

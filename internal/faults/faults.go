@@ -192,6 +192,37 @@ func (in *Injector) NewEvent(kind Kind) Event {
 // RandomEvent draws a kind from the full mixture and expands it.
 func (in *Injector) RandomEvent() Event { return in.NewEvent(in.RandomKind(false, false)) }
 
+// RandomEventIn draws an event from the full mixture and rebases its
+// entry effects into the half-open arena [lo, hi): the anchor entry is
+// re-drawn uniformly inside the arena and every effect keeps its entry
+// delta relative to the event's first effect, wrapped modulo the arena
+// size. This is the conditional distribution "the event struck live
+// application data" that the workload outcome engine samples from — a
+// random site on a 32GB device would miss a kilobyte-scale tensor arena
+// essentially always, so the footprint fraction is factored out into the
+// FIT weighting (DefaultSourceFIT) instead of being re-sampled.
+func (in *Injector) RandomEventIn(lo, hi int64) Event {
+	ev := in.NewEventIn(in.RandomKind(false, false), lo, hi)
+	return ev
+}
+
+// NewEventIn expands a fault of the given kind rebased into [lo, hi).
+// See RandomEventIn. It panics when the arena is empty.
+func (in *Injector) NewEventIn(kind Kind, lo, hi int64) Event {
+	if hi <= lo {
+		panic("faults: empty arena")
+	}
+	ev := in.NewEvent(kind)
+	span := hi - lo
+	anchor := in.rng.Int63n(span)
+	base := ev.Effects[0].Entry
+	for i := range ev.Effects {
+		d := (ev.Effects[i].Entry - base) % span
+		ev.Effects[i].Entry = lo + ((anchor+d)%span+span)%span
+	}
+	return ev
+}
+
 func (in *Injector) randomEntry() int64 {
 	return int64(in.rng.Int63n(in.Cfg.Entries()))
 }

@@ -237,3 +237,45 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestRandomEventInBounds(t *testing.T) {
+	in := NewInjector(hbm2.V100(), 21)
+	const lo, hi = 100, 356
+	for i := 0; i < 2000; i++ {
+		ev := in.RandomEventIn(lo, hi)
+		if len(ev.Effects) == 0 {
+			t.Fatalf("event %d: no effects", i)
+		}
+		for _, eff := range ev.Effects {
+			if eff.Entry < lo || eff.Entry >= hi {
+				t.Fatalf("event %d (%v): entry %d outside [%d, %d)", i, ev.Kind, eff.Entry, lo, hi)
+			}
+		}
+	}
+}
+
+func TestRandomEventInDeterministic(t *testing.T) {
+	a := NewInjector(hbm2.V100(), 33)
+	b := NewInjector(hbm2.V100(), 33)
+	for i := 0; i < 200; i++ {
+		ea, eb := a.RandomEventIn(0, 512), b.RandomEventIn(0, 512)
+		if ea.Kind != eb.Kind || len(ea.Effects) != len(eb.Effects) {
+			t.Fatalf("event %d diverged: %v vs %v", i, ea.Kind, eb.Kind)
+		}
+		for j := range ea.Effects {
+			if ea.Effects[j].Entry != eb.Effects[j].Entry || ea.Effects[j].Corr != eb.Effects[j].Corr {
+				t.Fatalf("event %d effect %d diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestNewEventInPanicsOnEmptyArena(t *testing.T) {
+	in := NewInjector(hbm2.V100(), 34)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty arena did not panic")
+		}
+	}()
+	in.NewEventIn(in.RandomKind(false, false), 5, 5)
+}

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSourceJSONRoundTrip(t *testing.T) {
+	for s := Source(0); s < NumSources; s++ {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", s, err)
+		}
+		want := `"` + s.String() + `"`
+		if string(b) != want {
+			t.Errorf("marshal %v = %s, want %s", s, b, want)
+		}
+		var back Source
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, back)
+		}
+	}
+}
+
+func TestSourceJSONRejects(t *testing.T) {
+	var s Source
+	if err := json.Unmarshal([]byte(`"sram"`), &s); err == nil || !strings.Contains(err.Error(), "unknown source") {
+		t.Errorf("unknown name: err = %v, want unknown-source error", err)
+	}
+	if err := json.Unmarshal([]byte(`1`), &s); err == nil {
+		t.Error("numeric source accepted; enums are names on the wire")
+	}
+	if err := json.Unmarshal([]byte(`null`), &s); err == nil {
+		t.Error("null source accepted")
+	}
+	if _, err := json.Marshal(Source(77)); err == nil {
+		t.Error("marshal of invalid source succeeded")
+	}
+	if _, err := json.Marshal(Source(-1)); err == nil {
+		t.Error("marshal of negative source succeeded")
+	}
+}
+
+func TestParseSource(t *testing.T) {
+	for s := Source(0); s < NumSources; s++ {
+		got, err := ParseSource(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSource(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSource("DRAM"); err == nil {
+		t.Error("case-mangled name accepted; names are exact")
+	}
+	if !SourceDRAM.Valid() || Source(NumSources).Valid() || Source(-1).Valid() {
+		t.Error("Valid() range wrong")
+	}
+}
+
+// TestProfilesWellFormed checks every default profile partitions the
+// event: the three conditional probabilities sum to 1, and only
+// sources whose silent share is actually simulated downstream have one.
+func TestProfilesWellFormed(t *testing.T) {
+	for s := Source(0); s < NumSources; s++ {
+		p := DefaultProfiles[s]
+		sum := p.PDetected + p.PCrash + p.PSilent
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: profile sums to %v, want 1", s, sum)
+		}
+	}
+	if DefaultProfiles[SourceDRAM].PSilent != 1 {
+		t.Error("DRAM profile must be all-silent: detection is the scheme's call")
+	}
+	for s := Source(0); s < NumSources; s++ {
+		if DefaultSourceFIT[s] <= 0 {
+			t.Errorf("%s: non-positive FIT weight", s)
+		}
+	}
+}

@@ -24,6 +24,7 @@ type GPU struct {
 
 	// Counters since construction.
 	Reads     int64
+	Writes    int64
 	Corrected int64
 	DUEs      int64
 	// Resilience counters (zero unless EnableResilience was called or a
@@ -66,6 +67,16 @@ func (g *GPU) SetClock(t float64) { g.clock = t }
 
 // WritePattern writes a full-memory data pattern at the current time.
 func (g *GPU) WritePattern(pat dram.PatternFn) { g.Dev.WriteAll(pat, g.clock) }
+
+// WriteEntry models one 32B store through the memory controller at the
+// current clock. The payload is owned by the caller's pattern source
+// (see dram.RewriteEntry); the device clears the entry's recorded
+// soft-error corruption — the stored charge was replaced — and restarts
+// its weak-cell leak clocks.
+func (g *GPU) WriteEntry(idx int64) {
+	g.Writes++
+	g.Dev.RewriteEntry(idx, g.clock)
+}
 
 // ReadResult is the outcome of one ECC-protected read.
 type ReadResult struct {

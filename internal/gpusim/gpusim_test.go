@@ -98,3 +98,23 @@ func TestECCEnabledWeakCellsCorrected(t *testing.T) {
 		t.Fatal("ECCEnabled wrong")
 	}
 }
+
+func TestWriteEntryClearsCorruptionAndCounts(t *testing.T) {
+	g := New(hbm2.V100(), core.NewDuetECC())
+	g.WritePattern(pat)
+	g.Advance(1)
+
+	var c dram.Corruption
+	c.Xor = c.Xor.FlipBit(0).FlipBit(80).FlipBit(150)
+	g.Dev.InjectCorruption(5, c)
+	if r := g.Read(5); r.Status != ecc.Detected {
+		t.Fatalf("multi-bit corruption not detected: %v", r.Status)
+	}
+	g.WriteEntry(5)
+	if g.Writes != 1 {
+		t.Fatalf("write counter = %d, want 1", g.Writes)
+	}
+	if r := g.Read(5); r.Status != ecc.OK || r.Data != pat(5) {
+		t.Fatalf("read after WriteEntry: %v", r.Status)
+	}
+}

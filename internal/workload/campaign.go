@@ -1,0 +1,380 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hbm2ecc/internal/core"
+	"hbm2ecc/internal/faults"
+	"hbm2ecc/internal/gpusim"
+	"hbm2ecc/internal/hbm2"
+)
+
+// NoECC is the scheme name for runs with DRAM ECC disabled (reads
+// return raw device data) — the paper's beam-campaign configuration and
+// the baseline every scheme is compared against.
+const NoECC = "none"
+
+// DefaultSchemes are the configurations the outcome tables compare: no
+// protection, the paper's two proposed schemes, and the symbol-based
+// organization that trades pin correction for stronger symbols.
+func DefaultSchemes() []string {
+	return []string{NoECC, "DuetECC", "TrioECC", "SSC-DSD+"}
+}
+
+// SchemeFor resolves a campaign scheme name: NoECC maps to a nil
+// core.Scheme (ECC disabled), everything else goes through the core
+// registry.
+func SchemeFor(name string) (core.Scheme, error) {
+	if name == NoECC {
+		return nil, nil
+	}
+	return core.SchemeByName(name)
+}
+
+// Options configures a workload campaign.
+type Options struct {
+	// Seed makes every run reproducible; each (scheme, kernel) cell
+	// derives an independent stream from it.
+	Seed int64
+	// Runs is the number of fault-injection runs per cell (default 400).
+	Runs int
+	// Schemes and Kernels select the campaign grid; empty selects
+	// DefaultSchemes and all kernels.
+	Schemes []string
+	Kernels []Kernel
+	// SourceFIT weights the fault-source mixture and scales the
+	// end-to-end FIT arithmetic; the zero value selects
+	// faults.DefaultSourceFIT.
+	SourceFIT [faults.NumSources]float64
+	// Profiles sets the conditional behavior of non-DRAM sources; the
+	// zero value selects faults.DefaultProfiles.
+	Profiles [faults.NumSources]faults.SourceProfile
+	// Parallel evaluates cells concurrently (each cell's stream is
+	// independent, so results are identical to a sequential run).
+	Parallel bool
+	// Ctx, when non-nil, makes the campaign cancellable between cells
+	// and (inside a cell) between runs; partial cells are dropped, so a
+	// checkpoint never holds a half-evaluated cell.
+	Ctx context.Context
+	// Resume is consulted before evaluating each cell; ok=true reuses
+	// the cached result (see Checkpoint.Lookup).
+	Resume func(scheme string, k Kernel) (CellResult, bool)
+	// Progress is called after each evaluated cell (the checkpoint
+	// hook); not called for cells satisfied by Resume.
+	Progress func(scheme string, k Kernel, r CellResult)
+}
+
+func (o *Options) defaults() {
+	if o.Runs <= 0 {
+		o.Runs = 400
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = DefaultSchemes()
+	}
+	if len(o.Kernels) == 0 {
+		o.Kernels = Kernels()
+	}
+	zero := true
+	for _, f := range o.SourceFIT {
+		if f != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		o.SourceFIT = faults.DefaultSourceFIT
+	}
+	zero = true
+	for _, p := range o.Profiles {
+		if p != (faults.SourceProfile{}) {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		o.Profiles = faults.DefaultProfiles
+	}
+}
+
+// CellResult is the outcome ledger of one (scheme, kernel) cell: per-run
+// outcomes in run order plus the per-source marginals the FIT arithmetic
+// needs. Cells are byte-identical across resumes, shard orders and
+// concurrent campaigns — the determinism contract the checkpoint relies
+// on.
+type CellResult struct {
+	Scheme string `json:"scheme"`
+	Kernel Kernel `json:"kernel"`
+	Runs   int    `json:"runs"`
+	// TotalOps is the kernel's deterministic per-run op count (setup +
+	// compute + readback) — the injection timeline's length.
+	TotalOps int64 `json:"total_ops"`
+	// Outcomes counts runs per outcome, indexed by Outcome.
+	Outcomes [NumOutcomes]int `json:"outcomes"`
+	// BySource breaks the outcome counts down by fault source.
+	BySource [faults.NumSources][NumOutcomes]int `json:"by_source"`
+	// Ledger is the per-run outcome sequence in run order.
+	Ledger []Outcome `json:"ledger"`
+}
+
+// Frac returns the fraction of runs with outcome o.
+func (r CellResult) Frac(o Outcome) float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Outcomes[o]) / float64(r.Runs)
+}
+
+// FIT returns the end-to-end failure rate per outcome, in events per
+// 10^9 device-hours: FIT(o) = sum over sources s of fit[s] * P(o|s),
+// with P(o|s) measured from the cell's per-source run counts. Because
+// sources are drawn proportionally to the same fit weights, every
+// source's estimate is backed by a proportional share of the runs.
+func (r CellResult) FIT(fit [faults.NumSources]float64) [NumOutcomes]float64 {
+	var out [NumOutcomes]float64
+	for s := faults.Source(0); s < faults.NumSources; s++ {
+		n := 0
+		for o := Outcome(0); o < NumOutcomes; o++ {
+			n += r.BySource[s][o]
+		}
+		if n == 0 {
+			continue
+		}
+		for o := Outcome(0); o < NumOutcomes; o++ {
+			out[o] += fit[s] * float64(r.BySource[s][o]) / float64(n)
+		}
+	}
+	return out
+}
+
+// cellSeed derives the cell's independent stream from the campaign seed
+// — FNV-1a over the cell coordinates mixed with the seed, so adding or
+// reordering cells never shifts another cell's stream.
+func cellSeed(seed int64, scheme string, k Kernel) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s", scheme, k)
+	return seed ^ int64(h.Sum64())
+}
+
+// splitmix64 is the per-run seed expander (SplitMix64 finalizer): runs
+// within a cell get decorrelated rng streams from consecutive indices.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// workloadConfig is the simulated device the kernels run on: one HBM2
+// stack is far larger than any kernel arena and keeps per-run device
+// construction cheap.
+var workloadConfig = hbm2.Config{Stacks: 1}
+
+// cancelCheckStride bounds how many runs pass between context checks.
+const cancelCheckStride = 32
+
+// RunCell evaluates one (scheme, kernel) cell: Runs fault-injection
+// runs, each with exactly one fault event drawn from the FIT-weighted
+// source mixture and one fresh deterministic device. Cancellation
+// mid-cell returns the context error and drops the partial counts.
+func RunCell(scheme string, k Kernel, opts Options) (CellResult, error) {
+	opts.defaults()
+	sch, err := SchemeFor(scheme)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if !k.Valid() {
+		return CellResult{}, fmt.Errorf("workload: invalid kernel %d", int(k))
+	}
+	start := time.Now()
+	seed := cellSeed(opts.Seed, scheme, k)
+
+	// Dry run: fixed op count for the injection timeline (kernels are
+	// data-oblivious, so any input data gives the same count) and a
+	// self-check that the kernel reproduces its golden output unfaulted.
+	totalOps, err := dryRun(sch, k, seed)
+	if err != nil {
+		return CellResult{}, err
+	}
+
+	res := CellResult{Scheme: scheme, Kernel: k, TotalOps: totalOps,
+		Ledger: make([]Outcome, 0, opts.Runs)}
+	var bySrc [faults.NumSources]int
+	for r := 0; r < opts.Runs; r++ {
+		if opts.Ctx != nil && r%cancelCheckStride == 0 && opts.Ctx.Err() != nil {
+			return CellResult{}, opts.Ctx.Err()
+		}
+		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(seed) + uint64(r)))))
+		outcome, src := runOne(sch, k, rng, totalOps, opts)
+		res.Runs++
+		res.Outcomes[outcome]++
+		res.BySource[src][outcome]++
+		res.Ledger = append(res.Ledger, outcome)
+		bySrc[src]++
+	}
+
+	// Publish telemetry once per cell — the hot loop stays untouched.
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if res.Outcomes[o] > 0 {
+			mRuns.With(k.String(), scheme, o.String()).Add(uint64(res.Outcomes[o]))
+		}
+	}
+	for s := faults.Source(0); s < faults.NumSources; s++ {
+		if bySrc[s] > 0 {
+			mInjected.With(s.String()).Add(uint64(bySrc[s]))
+		}
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		mRunRate.With(k.String(), scheme).Set(float64(res.Runs) / sec)
+	}
+	return res, nil
+}
+
+// dryRun executes the kernel once with no faults, returning its op
+// count and verifying the device path reproduces the golden output.
+func dryRun(sch core.Scheme, k Kernel, seed int64) (int64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMemory(gpusim.New(workloadConfig, sch))
+	inst := newInstance(k, rng, m)
+	inst.run(m)
+	got := m.ReadOut(inst.out)
+	if classifyOutput(k, inst.golden, got) != Masked {
+		return 0, fmt.Errorf("workload: %s dry run diverged from golden output", k)
+	}
+	return m.Ops(), nil
+}
+
+// drawSource picks the run's fault source from the FIT-weighted mixture.
+func drawSource(rng *rand.Rand, fit [faults.NumSources]float64) faults.Source {
+	total := 0.0
+	for _, f := range fit {
+		total += f
+	}
+	x := rng.Float64() * total
+	for s := faults.Source(0); s < faults.NumSources; s++ {
+		x -= fit[s]
+		if x < 0 {
+			return s
+		}
+	}
+	return faults.SourceDRAM
+}
+
+// runOne executes one fault-injection run: draw the source and strike
+// op, resolve non-DRAM detected/fatal events from the source profile
+// (they are scheme-independent by construction), and simulate everything
+// else — DRAM events through the device and ECC decode path, cache
+// poison through a post-decode bit flip — classifying the output against
+// the golden result.
+func runOne(sch core.Scheme, k Kernel, rng *rand.Rand, totalOps int64, opts Options) (Outcome, faults.Source) {
+	src := drawSource(rng, opts.SourceFIT)
+	strikeOp := rng.Int63n(totalOps)
+
+	poisonBit := -1
+	if src != faults.SourceDRAM {
+		p := opts.Profiles[src]
+		x := rng.Float64()
+		switch {
+		case x < p.PDetected:
+			return DUE, src
+		case x < p.PDetected+p.PCrash:
+			return Crash, src
+		default:
+			// Silent share: corrupted data continues into the pipeline
+			// past any DRAM ECC. Its application outcome is simulated.
+			poisonBit = rng.Intn(32)
+		}
+	}
+
+	m := NewMemory(gpusim.New(workloadConfig, sch))
+	if poisonBit >= 0 {
+		m.SchedulePoison(strikeOp, poisonBit)
+	} else {
+		m.ScheduleDRAM(strikeOp, faults.NewInjector(workloadConfig, rng.Int63()))
+	}
+	inst := newInstance(k, rng, m)
+	inst.run(m)
+	got := m.ReadOut(inst.out)
+	if m.Failed() {
+		return DUE, src
+	}
+	return classifyOutput(k, inst.golden, got), src
+}
+
+// Campaign evaluates the full scheme x kernel grid in spec order. With
+// Parallel, cells evaluate concurrently; each draws from its own stream,
+// so the merged result is identical to a sequential run. On cancellation
+// it returns the completed cells (every one already passed to Progress)
+// and the context error.
+func Campaign(opts Options) ([]CellResult, error) {
+	opts.defaults()
+	type cellKey struct {
+		scheme string
+		kernel Kernel
+	}
+	var keys []cellKey
+	for _, s := range opts.Schemes {
+		for _, k := range opts.Kernels {
+			keys = append(keys, cellKey{s, k})
+		}
+	}
+	results := make([]CellResult, len(keys))
+	done := make([]bool, len(keys))
+	errs := make([]error, len(keys))
+
+	eval := func(i int) {
+		key := keys[i]
+		if opts.Resume != nil {
+			if r, ok := opts.Resume(key.scheme, key.kernel); ok {
+				results[i], done[i] = r, true
+				return
+			}
+		}
+		r, err := RunCell(key.scheme, key.kernel, opts)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], done[i] = r, true
+		if opts.Progress != nil {
+			opts.Progress(key.scheme, key.kernel, r)
+		}
+	}
+
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		for i := range keys {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eval(i)
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range keys {
+			eval(i)
+			if errs[i] != nil {
+				break
+			}
+		}
+	}
+
+	out := make([]CellResult, 0, len(keys))
+	for i := range keys {
+		if done[i] {
+			out = append(out, results[i])
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

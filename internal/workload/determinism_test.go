@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestCampaignDeterministicConcurrent runs eight full campaigns
+// concurrently (each itself cell-parallel) and requires byte-identical
+// marshalled outcome ledgers — the determinism contract the checkpoint
+// and the distributed sharding rely on. Run under -race this also
+// checks the campaign engine shares nothing across campaigns.
+func TestCampaignDeterministicConcurrent(t *testing.T) {
+	opts := Options{Seed: 11, Runs: 40, Schemes: []string{NoECC, "DuetECC"},
+		Kernels: []Kernel{DNN}, Parallel: true}
+	const n = 8
+	blobs := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Campaign(opts)
+			if err != nil {
+				t.Errorf("campaign %d: %v", i, err)
+				return
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Errorf("campaign %d: marshal: %v", i, err)
+				return
+			}
+			blobs[i] = b
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(blobs[0], blobs[i]) {
+			t.Fatalf("campaign %d ledger differs from campaign 0:\n%s\nvs\n%s", i, blobs[i], blobs[0])
+		}
+	}
+}
+
+// TestCheckpointResume interrupts a campaign mid-way, saves the
+// checkpoint, reloads it from disk, resumes, and requires the resumed
+// results to DeepEqual an uninterrupted run.
+func TestCheckpointResume(t *testing.T) {
+	opts := Options{Seed: 4, Runs: 30, Schemes: []string{NoECC, "DuetECC"},
+		Kernels: []Kernel{GEMM, DNN}}
+
+	full, err := Campaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after two completed cells.
+	ctx, cancel := context.WithCancel(context.Background())
+	ck := NewCheckpoint(opts)
+	first := opts
+	first.Ctx = ctx
+	done := 0
+	first.Progress = func(s string, k Kernel, r CellResult) {
+		ck.Store(s, k, r)
+		if done++; done == 2 {
+			cancel()
+		}
+	}
+	if _, err := Campaign(first); err != context.Canceled {
+		t.Fatalf("interrupted campaign err = %v, want context.Canceled", err)
+	}
+	if ck.Cells() != 2 {
+		t.Fatalf("checkpoint holds %d cells, want 2", ck.Cells())
+	}
+
+	// Round-trip the checkpoint through disk, as a real resume would.
+	path := filepath.Join(t.TempDir(), "workload.ckpt")
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Compatible(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := opts
+	recomputed := 0
+	resumed.Resume = loaded.Lookup
+	resumed.Progress = func(s string, k Kernel, r CellResult) { recomputed++ }
+	got, err := Campaign(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recomputed != len(full)-2 {
+		t.Errorf("resume recomputed %d cells, want %d", recomputed, len(full)-2)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Errorf("resumed campaign differs from uninterrupted run:\n%+v\nvs\n%+v", got, full)
+	}
+}

@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// Kernel enumerates the simulated workloads.
+type Kernel int
+
+const (
+	// GEMM is a 12x12x12 int32 tiled matrix multiply (4x4 register
+	// tiles) — the dense-linear-algebra shape of "The Anatomy of Silent
+	// Data Corruption" (PAPERS.md): almost every loaded word flows into
+	// the output, so very little masking happens in the arithmetic.
+	GEMM Kernel = iota
+	// Reduction is a 1024-element pairwise tree sum: faults striking a
+	// partial already consumed, or the half of the ping-pong buffers
+	// currently dead, are masked; everything else lands in the single
+	// output word.
+	Reduction
+	// DNN is a small fixed-point inference — 8x8 input, 3x3 conv to
+	// 6x6, ReLU, fully-connected 36x4, argmax — the neutron-induced DNN
+	// fault model setting (PAPERS.md): ReLU clamping and argmax margins
+	// mask or tolerate most numeric corruption, so its critical-SDC
+	// rate diverges sharply from the raw bit-level rate.
+	DNN
+	NumKernels
+)
+
+var kernelNames = [NumKernels]string{
+	GEMM:      "gemm",
+	Reduction: "reduction",
+	DNN:       "dnn",
+}
+
+func (k Kernel) String() string {
+	if k < 0 || k >= NumKernels {
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+	return kernelNames[k]
+}
+
+// Valid reports whether k is one of the defined kernels.
+func (k Kernel) Valid() bool { return k >= 0 && k < NumKernels }
+
+// ParseKernel maps a wire name back to its Kernel, rejecting unknown
+// names.
+func ParseKernel(name string) (Kernel, error) {
+	for k := Kernel(0); k < NumKernels; k++ {
+		if kernelNames[k] == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+// MarshalJSON emits the enum name.
+func (k Kernel) MarshalJSON() ([]byte, error) {
+	if !k.Valid() {
+		return nil, fmt.Errorf("workload: cannot marshal invalid kernel %d", int(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts exactly the enum names.
+func (k *Kernel) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return fmt.Errorf("workload: kernel must be a JSON string: %w", err)
+	}
+	v, err := ParseKernel(name)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// Kernels returns all kernels in canonical order.
+func Kernels() []Kernel { return []Kernel{GEMM, Reduction, DNN} }
+
+// Kernel geometry. Fixed so every run of a kernel has the same
+// deterministic op count regardless of data.
+const (
+	gemmN    = 12 // square matrix side
+	gemmTile = 4
+	redN     = 1024 // reduction input length
+	dnnIn    = 8    // input image side
+	dnnK     = 3    // conv kernel side
+	dnnConv  = dnnIn - dnnK + 1
+	dnnClass = 4 // FC output classes
+)
+
+// instance is one prepared run of a kernel: tensors allocated and
+// inputs stored through the device, with the host-side golden result
+// computed from the same drawn values. Input draws come from the run's
+// rng, so every run sees fresh data while staying deterministic.
+type instance struct {
+	kernel Kernel
+	out    Tensor
+	golden []int32
+	run    func(m *Memory)
+}
+
+// newInstance draws inputs, allocates and stores them, and computes the
+// golden output host-side (pure Go, no faults by construction).
+func newInstance(k Kernel, rng *rand.Rand, m *Memory) *instance {
+	switch k {
+	case GEMM:
+		return newGEMM(rng, m)
+	case Reduction:
+		return newReduction(rng, m)
+	case DNN:
+		return newDNN(rng, m)
+	default:
+		panic("workload: unknown kernel")
+	}
+}
+
+// storeAll writes a drawn host slice into a device tensor.
+func storeAll(m *Memory, t Tensor, vals []int32) {
+	for i, v := range vals {
+		m.Store(t, i, v)
+	}
+}
+
+func drawInts(rng *rand.Rand, n, lo, hi int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(lo + rng.Intn(hi-lo+1))
+	}
+	return out
+}
+
+func newGEMM(rng *rand.Rand, m *Memory) *instance {
+	a := drawInts(rng, gemmN*gemmN, -8, 8)
+	b := drawInts(rng, gemmN*gemmN, -8, 8)
+	ta, tb := m.Alloc(len(a)), m.Alloc(len(b))
+	tc := m.Alloc(gemmN * gemmN)
+	storeAll(m, ta, a)
+	storeAll(m, tb, b)
+
+	golden := make([]int32, gemmN*gemmN)
+	for i := 0; i < gemmN; i++ {
+		for j := 0; j < gemmN; j++ {
+			var acc int32
+			for kk := 0; kk < gemmN; kk++ {
+				acc += a[i*gemmN+kk] * b[kk*gemmN+j]
+			}
+			golden[i*gemmN+j] = acc
+		}
+	}
+	return &instance{kernel: GEMM, out: tc, golden: golden, run: func(m *Memory) {
+		var acc [gemmTile][gemmTile]int32
+		for i0 := 0; i0 < gemmN; i0 += gemmTile {
+			for j0 := 0; j0 < gemmN; j0 += gemmTile {
+				for i := range acc {
+					for j := range acc[i] {
+						acc[i][j] = 0
+					}
+				}
+				for kk := 0; kk < gemmN; kk++ {
+					for i := 0; i < gemmTile; i++ {
+						av := m.Load(ta, (i0+i)*gemmN+kk)
+						for j := 0; j < gemmTile; j++ {
+							acc[i][j] += av * m.Load(tb, kk*gemmN+(j0+j))
+						}
+					}
+				}
+				for i := 0; i < gemmTile; i++ {
+					for j := 0; j < gemmTile; j++ {
+						m.Store(tc, (i0+i)*gemmN+(j0+j), acc[i][j])
+					}
+				}
+			}
+		}
+	}}
+}
+
+func newReduction(rng *rand.Rand, m *Memory) *instance {
+	in := drawInts(rng, redN, -1000, 1000)
+	tin := m.Alloc(redN)
+	ping := m.Alloc(redN / 2)
+	pong := m.Alloc(redN / 4)
+	tout := m.Alloc(1)
+	storeAll(m, tin, in)
+
+	var sum int32
+	for _, v := range in {
+		sum += v
+	}
+	return &instance{kernel: Reduction, out: tout, golden: []int32{sum}, run: func(m *Memory) {
+		src, n := tin, redN
+		dst, other := ping, pong
+		for n > 1 {
+			half := n / 2
+			for i := 0; i < half; i++ {
+				v := m.Load(src, 2*i) + m.Load(src, 2*i+1)
+				if n%2 == 1 && i == half-1 {
+					v += m.Load(src, n-1)
+				}
+				if half == 1 {
+					m.Store(tout, 0, v)
+				} else {
+					m.Store(dst, i, v)
+				}
+			}
+			src, dst, other = dst, other, dst
+			n = half
+		}
+	}}
+}
+
+func newDNN(rng *rand.Rand, m *Memory) *instance {
+	img := drawInts(rng, dnnIn*dnnIn, -4, 4)
+	cw := drawInts(rng, dnnK*dnnK, -2, 2)
+	fw := drawInts(rng, dnnConv*dnnConv*dnnClass, -2, 2)
+	timg := m.Alloc(len(img))
+	tcw := m.Alloc(len(cw))
+	tfw := m.Alloc(len(fw))
+	tact := m.Alloc(dnnConv * dnnConv)
+	tlog := m.Alloc(dnnClass)
+	storeAll(m, timg, img)
+	storeAll(m, tcw, cw)
+	storeAll(m, tfw, fw)
+
+	// Host-side golden inference.
+	act := make([]int32, dnnConv*dnnConv)
+	for y := 0; y < dnnConv; y++ {
+		for x := 0; x < dnnConv; x++ {
+			var acc int32
+			for ky := 0; ky < dnnK; ky++ {
+				for kx := 0; kx < dnnK; kx++ {
+					acc += img[(y+ky)*dnnIn+(x+kx)] * cw[ky*dnnK+kx]
+				}
+			}
+			if acc < 0 {
+				acc = 0
+			}
+			act[y*dnnConv+x] = acc
+		}
+	}
+	golden := make([]int32, dnnClass)
+	for c := 0; c < dnnClass; c++ {
+		var acc int32
+		for i, v := range act {
+			acc += v * fw[i*dnnClass+c]
+		}
+		golden[c] = acc
+	}
+	return &instance{kernel: DNN, out: tlog, golden: golden, run: func(m *Memory) {
+		for y := 0; y < dnnConv; y++ {
+			for x := 0; x < dnnConv; x++ {
+				var acc int32
+				for ky := 0; ky < dnnK; ky++ {
+					for kx := 0; kx < dnnK; kx++ {
+						acc += m.Load(timg, (y+ky)*dnnIn+(x+kx)) * m.Load(tcw, ky*dnnK+kx)
+					}
+				}
+				if acc < 0 {
+					acc = 0
+				}
+				m.Store(tact, y*dnnConv+x, acc)
+			}
+		}
+		for c := 0; c < dnnClass; c++ {
+			var acc int32
+			for i := 0; i < dnnConv*dnnConv; i++ {
+				acc += m.Load(tact, i) * m.Load(tfw, i*dnnClass+c)
+			}
+			m.Store(tlog, c, acc)
+		}
+	}}
+}
+
+// argmax returns the index of the largest logit, lowest index winning
+// ties — the deterministic top-1 rule for both golden and faulted runs.
+func argmax(v []int32) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// classifyOutput compares a completed run's output against the golden
+// result: identical output is masked; for DNN, a changed output with an
+// unchanged top-1 class is a tolerable SDC (the application-level answer
+// stands); everything else is critical.
+func classifyOutput(k Kernel, golden, got []int32) Outcome {
+	same := len(golden) == len(got)
+	if same {
+		for i := range golden {
+			if golden[i] != got[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return Masked
+	}
+	if k == DNN && len(got) == len(golden) && argmax(golden) == argmax(got) {
+		return TolerableSDC
+	}
+	return CriticalSDC
+}

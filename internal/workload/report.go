@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hbm2ecc/internal/faults"
+	"hbm2ecc/internal/textplot"
+)
+
+// WriteReport renders the campaign results: one outcome table per
+// kernel (scheme rows, per-outcome percentages) and an end-to-end FIT
+// table folding in the non-DRAM sources — the comparison the paper's
+// pattern-coverage tables cannot make, because a scheme that fixes
+// every DRAM pattern still inherits the interconnect/cache/scheduler
+// failure floor.
+func WriteReport(w io.Writer, results []CellResult, fit [faults.NumSources]float64) {
+	byKernel := map[Kernel][]CellResult{}
+	for _, r := range results {
+		byKernel[r.Kernel] = append(byKernel[r.Kernel], r)
+	}
+	for _, k := range Kernels() {
+		rows := byKernel[k]
+		if len(rows) == 0 {
+			continue
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].Scheme < rows[j].Scheme })
+		tb := textplot.NewTable("scheme", "runs", "masked", "tolerable SDC", "critical SDC", "DUE", "crash")
+		for _, r := range rows {
+			tb.AddRow(r.Scheme, r.Runs,
+				pct(r.Frac(Masked)), pct(r.Frac(TolerableSDC)), pct(r.Frac(CriticalSDC)),
+				pct(r.Frac(DUE)), pct(r.Frac(Crash)))
+		}
+		fmt.Fprintf(w, "Workload outcomes: %s\n%s\n", k, tb.String())
+	}
+
+	// End-to-end FIT: aggregate each scheme's per-source outcome counts
+	// across kernels, then weight by the source FIT mixture. "kill"
+	// (DUE+crash) is the availability loss; critical SDC is the silent
+	// corruption a user actually ships.
+	type agg struct {
+		bySource [faults.NumSources][NumOutcomes]int
+	}
+	schemes := []string{}
+	perScheme := map[string]*agg{}
+	for _, r := range results {
+		a := perScheme[r.Scheme]
+		if a == nil {
+			a = &agg{}
+			perScheme[r.Scheme] = a
+			schemes = append(schemes, r.Scheme)
+		}
+		for s := range r.BySource {
+			for o := range r.BySource[s] {
+				a.bySource[s][o] += r.BySource[s][o]
+			}
+		}
+	}
+	sort.Strings(schemes)
+	tb := textplot.NewTable("scheme", "critical-SDC FIT", "DUE FIT", "crash FIT", "kill FIT")
+	for _, s := range schemes {
+		merged := CellResult{BySource: perScheme[s].bySource}
+		f := merged.FIT(fit)
+		tb.AddRow(s, fitStr(f[CriticalSDC]), fitStr(f[DUE]), fitStr(f[Crash]),
+			fitStr(f[DUE]+f[Crash]))
+	}
+	total := 0.0
+	for _, f := range fit {
+		total += f
+	}
+	fmt.Fprintf(w, "End-to-end FIT (all kernels, source mixture %.0f FIT: dram=%.0f interconnect=%.0f cache=%.0f scheduler=%.0f)\n%s\n",
+		total, fit[faults.SourceDRAM], fit[faults.SourceInterconnect],
+		fit[faults.SourceCache], fit[faults.SourceScheduler], tb.String())
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+func fitStr(f float64) string { return fmt.Sprintf("%.1f", f) }

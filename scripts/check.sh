@@ -142,4 +142,20 @@ echo "== bench smoke: cmd/bench -fleet -quick =="
 go run ./cmd/bench -fleet -quick -out "$serve_dir/bench_fleet.json" >/dev/null
 test -s "$serve_dir/bench_fleet.json"
 
+echo "== workload smoke: all five outcome classes reachable =="
+# Every campaign run carries exactly one forced fault event; a small
+# grid over {none, DuetECC} x {gemm, dnn} must reach masked,
+# tolerable-SDC, critical-SDC, DUE and crash.
+go test -run TestOutcomeClassesReachable -count=1 ./internal/workload/
+wl_out="$serve_dir/ecceval_workload.txt"
+go run ./cmd/ecceval -workload -workload-runs 40 -workload-schemes none,DuetECC >"$wl_out"
+for col in masked "tolerable SDC" "critical SDC" DUE crash "End-to-end FIT"; do
+	grep -q "$col" "$wl_out" || { echo "workload report missing '$col'"; cat "$wl_out"; exit 1; }
+done
+
+echo "== bench smoke: cmd/bench -workload -quick (resume differential) =="
+go run ./cmd/bench -workload -quick -out "$serve_dir/bench_workload.json" >/dev/null
+test -s "$serve_dir/bench_workload.json"
+grep -q '"resume_identical": true' "$serve_dir/bench_workload.json"
+
 echo "OK: all checks passed"
