@@ -365,6 +365,7 @@ func main() {
 	serveBench := flag.Bool("serve", false, "benchmark the online decode service (single vs micro-batched) instead of decode throughput")
 	fleetBench := flag.Bool("fleet", false, "benchmark the fleet health plane (10k-node agent/coordinator pipeline) instead of decode throughput")
 	workloadBench := flag.Bool("workload", false, "benchmark the workload outcome engine (kernel runs/sec, resume differential) instead of decode throughput")
+	ondieBench := flag.Bool("ondie", false, "benchmark the on-die ECC stage (read-path overhead, mask transform, BEER inference wall-clock) instead of decode throughput")
 	gate := flag.Bool("gate", false, "regression gate: fail unless every scheme's slab-resident clean-mix path is at least as fast as its scalar batch path")
 	seed := flag.Int64("seed", 2021, "corpus and evaluation seed")
 	corpus := flag.Int("corpus", 8192, "received words per decode corpus")
@@ -403,6 +404,16 @@ func main() {
 			*out = "BENCH_fleet.json"
 		}
 		if err := runFleetBench(*out, *seed, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ondieBench {
+		if *out == "" {
+			*out = "BENCH_ondie.json"
+		}
+		if err := runOnDieBench(*out, *seed, *quick, *minTime); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/hbm2"
+	"hbm2ecc/internal/ondie"
+)
+
+// OnDieStageBench is one candidate stage's measured costs.
+type OnDieStageBench struct {
+	Stage      string `json:"stage"`
+	Chunks     int    `json:"chunks"`
+	ParityBits int    `json:"parity_bits"`
+	// CleanReadNS / RawReadNS time dram.Device.ReadWire on an error-free
+	// entry with and without the stage installed — the read-path overhead
+	// of the on-die decode fast path (clean chunks skip the syndrome).
+	CleanReadNS float64 `json:"clean_read_ns"`
+	RawReadNS   float64 `json:"raw_read_ns"`
+	// ErroredReadNS times the read of an entry carrying a 2-bit error
+	// (the full syndrome + LUT + flip path).
+	ErroredReadNS float64 `json:"errored_read_ns"`
+	// TransformNS times Stage.TransformMask on a 2-bit error mask — the
+	// per-trial cost `ecceval -ondie` adds to every Monte-Carlo sample.
+	TransformNS float64 `json:"transform_ns"`
+	// Inference: the BEER-style H-matrix recovery against a black-box
+	// device carrying this stage.
+	InferExperiments int     `json:"infer_experiments"`
+	InferCells       int     `json:"infer_cells_planted"`
+	InferMS          float64 `json:"infer_ms"`
+	InferExact       bool    `json:"infer_exact_match"`
+}
+
+// OnDieReport is the BENCH_ondie.json schema.
+type OnDieReport struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Seed       int64             `json:"seed"`
+	Quick      bool              `json:"quick"`
+	Stages     []OnDieStageBench `json:"stages"`
+	WallMS     float64           `json:"wall_ms"`
+}
+
+// timeReads measures ns/read of dev.ReadWire(idx, t) over at least minTime.
+func timeReads(dev *dram.Device, idx int64, minTime time.Duration) float64 {
+	var sink bitvec.V288
+	n := 0
+	start := time.Now()
+	for time.Since(start) < minTime {
+		for i := 0; i < 256; i++ {
+			sink = dev.ReadWire(idx, 1.0)
+		}
+		n += 256
+	}
+	_ = sink
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+func runOnDieBench(out string, seed int64, quick bool, minTime time.Duration) error {
+	start := time.Now()
+	rep := OnDieReport{
+		Schema:     "hbm2ecc/bench_ondie/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Quick:      quick,
+	}
+	validate := 256
+	if quick {
+		validate = 32
+	}
+	for _, name := range ondie.StageNames() {
+		st, err := ondie.StageByName(name)
+		if err != nil {
+			return err
+		}
+		b := OnDieStageBench{Stage: name, Chunks: st.Chunks(), ParityBits: st.ParityBits()}
+
+		dev := dram.New(hbm2.V100(), dram.DefaultRefreshPeriod)
+		dev.WriteAll(func(int64) [hbm2.EntryBytes]byte {
+			var d [hbm2.EntryBytes]byte
+			for i := range d {
+				d[i] = 0x5A
+			}
+			return d
+		}, 0)
+		b.RawReadNS = timeReads(dev, 1, minTime)
+		dev.SetOnDie(st)
+		b.CleanReadNS = timeReads(dev, 1, minTime)
+		dev.InjectCorruption(2, dram.Corruption{Xor: bitvec.V288{}.FlipBit(0).FlipBit(1)})
+		b.ErroredReadNS = timeReads(dev, 2, minTime)
+
+		mask := bitvec.V288{}.FlipBit(0).FlipBit(1)
+		n := 0
+		t0 := time.Now()
+		var sink bitvec.V288
+		for time.Since(t0) < minTime {
+			for i := 0; i < 1024; i++ {
+				sink = st.TransformMask(mask)
+			}
+			n += 1024
+		}
+		_ = sink
+		b.TransformNS = float64(time.Since(t0).Nanoseconds()) / float64(n)
+
+		res, match, err := ondie.InferCandidate(name, hbm2.V100(),
+			ondie.InferOptions{Seed: seed, Validate: validate})
+		if err != nil {
+			return fmt.Errorf("%s: inference: %w", name, err)
+		}
+		b.InferExperiments = res.Experiments
+		b.InferCells = res.CellsPlanted
+		b.InferMS = float64(res.Elapsed.Nanoseconds()) / 1e6
+		b.InferExact = match
+		if !match {
+			return fmt.Errorf("%s: inference did not recover the exact H-matrix", name)
+		}
+		rep.Stages = append(rep.Stages, b)
+	}
+	rep.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, b := range rep.Stages {
+		fmt.Printf("%-10s read clean %.0fns (raw %.0fns) errored %.0fns, transform %.1fns, infer %d exps in %.1fms exact=%v\n",
+			b.Stage, b.CleanReadNS, b.RawReadNS, b.ErroredReadNS, b.TransformNS,
+			b.InferExperiments, b.InferMS, b.InferExact)
+	}
+	fmt.Printf("wrote %s (%.0fms)\n", out, rep.WallMS)
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"hbm2ecc/internal/errormodel"
 	"hbm2ecc/internal/evalmc"
 	"hbm2ecc/internal/obs"
+	"hbm2ecc/internal/ondie"
 )
 
 func main() {
@@ -47,10 +48,21 @@ func main() {
 	wlRuns := flag.Int("workload-runs", 400, "fault-injection runs per (scheme, kernel) cell with -workload")
 	wlSchemes := flag.String("workload-schemes", "",
 		"comma-separated scheme list for -workload (\"none\" = ECC off; default none,DuetECC,TrioECC,SSC-DSD+)")
+	ondieCode := flag.String("ondie", "",
+		"model an on-die ECC stage beneath the rank-level codes: every raw error mask is transformed through the die's silent correct/miscorrect before decode (hamming64, hamming72, hsiao64, sec128)")
+	ondieInfer := flag.Bool("ondie-infer", false,
+		"run the BEER-style H-matrix reverse-engineering demo against every candidate on-die code and exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *ondieInfer {
+		if err := runOnDieInfer(*seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *wl {
 		if err := runWorkload(ctx, *seed, *wlRuns, *wlSchemes, *checkpoint, *resume); err != nil {
@@ -59,17 +71,24 @@ func main() {
 		return
 	}
 
+	stage, err := ondieTransform(*ondieCode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if stage != nil && *workers > 0 {
+		log.Fatal("-ondie is not supported with -workers: the cluster wire spec carries no error transform")
+	}
+
 	names := core.Table2Names()
 	if *withDSC {
 		names = append(names, "DSC")
 	}
 
 	var results []evalmc.SchemeResult
-	var err error
 	if *workers > 0 {
 		results, err = runCluster(ctx, names, *workers, *seed, *samples, *checkpoint, *resume)
 	} else {
-		results, err = runSequential(ctx, names, *seed, *samples, *checkpoint, *resume, *metrics != "")
+		results, err = runSequential(ctx, names, *seed, *samples, *checkpoint, *resume, *metrics != "", stage)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -78,8 +97,14 @@ func main() {
 		return // interrupted; checkpoint messages already printed
 	}
 
+	if stage != nil {
+		fmt.Printf("on-die ECC stage %s installed: error patterns below are as observed past the die\n\n", stage.Name())
+	}
 	if err := evalmc.WriteReport(os.Stdout, results); err != nil {
 		log.Fatal(err)
+	}
+	if stage != nil {
+		printOnDieStats(stage)
 	}
 
 	if *metrics != "" {
@@ -131,7 +156,7 @@ func interrupted(ckpt *evalmc.Checkpoint, path string) {
 
 // runSequential is the classic single-process evaluation (per-cell
 // parallelism via GOMAXPROCS worker streams).
-func runSequential(ctx context.Context, names []string, seed int64, samples int, checkpoint, resume string, instrument bool) ([]evalmc.SchemeResult, error) {
+func runSequential(ctx context.Context, names []string, seed int64, samples int, checkpoint, resume string, instrument bool, stage *ondie.Stage) ([]evalmc.SchemeResult, error) {
 	schemes := make([]core.Scheme, len(names))
 	for i, name := range names {
 		s, err := core.SchemeByName(name)
@@ -146,6 +171,10 @@ func runSequential(ctx context.Context, names []string, seed int64, samples int,
 	opts := evalmc.Options{
 		Seed: seed, Samples3b: samples, SamplesBeat: samples,
 		SamplesEntry: samples, Parallel: true, Ctx: ctx,
+	}
+	if stage != nil {
+		opts.ErrTransform = stage.TransformMask
+		opts.OnDie = stage.Name()
 	}
 	ckpt, path, err := loadOrNewCheckpoint(opts, checkpoint, resume)
 	if err != nil {

@@ -391,6 +391,19 @@ func (a *Analysis) Table1() [errormodel.NumPatterns]stats.Proportion {
 	return out
 }
 
+// Table1Weights converts the measured per-pattern proportions to a
+// weight vector usable with evalmc.SchemeResult.WeightedWith — e.g. to
+// reweight scheme evaluations by a campaign observed through an on-die
+// ECC stage instead of the paper's published Table 1.
+func (a *Analysis) Table1Weights() [errormodel.NumPatterns]float64 {
+	t := a.Table1()
+	var out [errormodel.NumPatterns]float64
+	for p := range out {
+		out[p] = t[p].P
+	}
+	return out
+}
+
 // MultiBitFraction returns the share of events that are multi-bit
 // (MBSE+MBME) — the §5 "~31.5% of SEUs affect multiple bits" headline is
 // per-word; per-event the reproduction reports this figure.

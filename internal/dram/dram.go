@@ -48,11 +48,32 @@ func (c *Corruption) Merge(o Corruption) {
 // IsZero reports whether the corruption has no effect.
 func (c Corruption) IsZero() bool { return c.Xor.IsZero() && c.SetMask.IsZero() }
 
-// WeakCell is one displacement-damaged cell.
+// WeakCell is one displacement-damaged cell. Bits 0..287 are the entry's
+// wire-visible cells; with an on-die ECC stage installed, bits 288 and up
+// address its hidden parity cells (bit 288+p is stage parity cell p),
+// whose stored charge is the encode of the written entry.
 type WeakCell struct {
-	Bit       int     // wire bit 0..287 within its entry
+	Bit       int     // wire bit 0..287, or 288+p for hidden parity cell p
 	Retention float64 // seconds of charge retention when created
 	LeakTo    uint    // the value the cell decays to (0 for 99.8%)
+}
+
+// OnDieStage is the invisible per-die SEC ECC every read passes through
+// before the wire (implemented by internal/ondie.Stage). The stage owns
+// ParityBits hidden cells per entry; their stored values are a pure
+// function of the written entry (Parity), and Correct applies the die's
+// silent correct/miscorrect/pass-through behavior to the raw stored
+// image before it crosses the pins.
+type OnDieStage interface {
+	// ParityBits is the number of hidden parity cells per entry (<= 64).
+	ParityBits() int
+	// Parity returns the packed stored values of the hidden cells for a
+	// clean (as-written) entry.
+	Parity(clean bitvec.V288) uint64
+	// Correct decodes the raw stored entry: clean is the entry as
+	// written, raw the stored image after faults, parityErr the error
+	// mask of the hidden parity cells. It returns the transmitted wire.
+	Correct(clean, raw bitvec.V288, parityErr uint64) bitvec.V288
 }
 
 // Device is a simulated HBM2 DRAM device. It is not safe for concurrent
@@ -76,6 +97,9 @@ type Device struct {
 	// retention time.
 	retentionShift float64
 	weakCount      int
+	// ondie, when non-nil, is the per-die SEC ECC stage applied to every
+	// read before the wire image leaves the die.
+	ondie OnDieStage
 }
 
 // DefaultRefreshPeriod is the HBM2 default of 16ms.
@@ -144,6 +168,14 @@ func (d *Device) SetWireEncoder(enc func(data [hbm2.EntryBytes]byte) bitvec.V288
 // LastWrite returns the time of the last full write pass.
 func (d *Device) LastWrite() float64 { return d.lastWrite }
 
+// SetOnDie installs (or, with nil, removes) the per-die ECC stage. Hidden
+// parity cells exist only while a stage is installed; weak cells already
+// registered on parity positions of a removed stage are ignored by reads.
+func (d *Device) SetOnDie(s OnDieStage) { d.ondie = s }
+
+// OnDie returns the installed per-die ECC stage, or nil.
+func (d *Device) OnDie() OnDieStage { return d.ondie }
+
 // InjectCorruption layers a soft-error corruption onto an entry.
 func (d *Device) InjectCorruption(idx int64, c Corruption) {
 	if cur, ok := d.corrupt[idx]; ok {
@@ -154,8 +186,19 @@ func (d *Device) InjectCorruption(idx int64, c Corruption) {
 	d.corrupt[idx] = &cc
 }
 
-// AddWeakCell registers a displacement-damaged cell.
+// AddWeakCell registers a displacement-damaged cell. Bits at and beyond
+// 288 address the on-die stage's hidden parity cells and require a stage
+// wide enough to own them.
 func (d *Device) AddWeakCell(idx int64, w WeakCell) {
+	if w.Bit >= bitvec.EntryBits {
+		limit := bitvec.EntryBits
+		if d.ondie != nil {
+			limit += d.ondie.ParityBits()
+		}
+		if w.Bit >= limit {
+			panic("dram: weak cell beyond entry and on-die parity cells")
+		}
+	}
 	d.weak[idx] = append(d.weak[idx], w)
 	d.weakCount++
 }
@@ -172,15 +215,19 @@ func (d *Device) SetRetentionShift(s float64) { d.retentionShift = s }
 func (d *Device) RetentionShift() float64 { return d.retentionShift }
 
 // ReadWire returns the stored 36B entry at time t with all fault effects
-// applied.
+// applied. With an on-die ECC stage installed, the raw cell contents
+// (including hidden parity cells) pass through the per-die decode before
+// the wire image leaves the die — so rank-level codes above only ever see
+// the stage's corrected/miscorrected output.
 func (d *Device) ReadWire(idx int64, t float64) bitvec.V288 {
 	data := d.pattern(idx)
-	var wire bitvec.V288
+	var clean bitvec.V288
 	if d.wireFor != nil {
-		wire = d.wireFor(data)
+		clean = d.wireFor(data)
 	} else {
-		wire = bitvec.FromDataECC(data, [4]byte{})
+		clean = bitvec.FromDataECC(data, [4]byte{})
 	}
+	wire := clean
 	if c, ok := d.corrupt[idx]; ok {
 		for i := range wire {
 			wire[i] = wire[i]&^c.SetMask[i] | c.SetVal[i]&c.SetMask[i]
@@ -191,13 +238,32 @@ func (d *Device) ReadWire(idx int64, t float64) bitvec.V288 {
 	if rt, ok := d.rewriteAt[idx]; ok && rt > written {
 		written = rt
 	}
+	var parityErr uint64
+	storedParity, haveParity := uint64(0), false
 	for _, w := range d.weak[idx] {
 		eff := w.Retention + d.retentionShift
-		if eff < d.RefreshPeriod && t-written > eff {
+		if eff >= d.RefreshPeriod || t-written <= eff {
+			continue
+		}
+		if w.Bit < bitvec.EntryBits {
 			if wire.Bit(w.Bit) != w.LeakTo&1 {
 				wire = wire.SetBit(w.Bit, w.LeakTo)
 			}
+			continue
 		}
+		if d.ondie == nil {
+			continue // orphaned parity cell of a removed stage
+		}
+		if !haveParity {
+			storedParity = d.ondie.Parity(clean)
+			haveParity = true
+		}
+		if p := w.Bit - bitvec.EntryBits; uint(storedParity>>uint(p))&1 != w.LeakTo&1 {
+			parityErr |= 1 << uint(p)
+		}
+	}
+	if d.ondie != nil {
+		wire = d.ondie.Correct(clean, wire, parityErr)
 	}
 	return wire
 }

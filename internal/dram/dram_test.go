@@ -225,3 +225,76 @@ func TestRewriteEntryClearsCorruptionAndRestartsLeak(t *testing.T) {
 		t.Fatalf("cell did not leak after WriteAll: %#x", got[0])
 	}
 }
+
+func TestEncoderGeneratorInterplay(t *testing.T) {
+	d := New(hbm2.V100(), 0.016)
+	d.WriteAll(patConst(0xC3), 0)
+
+	// A wire encoder replaces the standard layout wholesale.
+	d.SetWireEncoder(func(data [hbm2.EntryBytes]byte) bitvec.V288 {
+		var v bitvec.V288
+		for i := range v {
+			v[i] = ^uint64(0)
+		}
+		return v.SetByte(0, data[0])
+	})
+	wire := d.ReadWire(5, 1.0)
+	if wire.Byte(0) != 0xC3 || wire.Byte(1) != 0xFF {
+		t.Fatalf("wire encoder not in effect: bytes %#x %#x", wire.Byte(0), wire.Byte(1))
+	}
+
+	// Installing an ECC generator afterwards reverts to the standard
+	// layout with generated check bytes.
+	d.SetECCGenerator(func(data [hbm2.EntryBytes]byte) [4]byte {
+		return [4]byte{^data[0], 0, 0, 0}
+	})
+	data, ecc := d.ReadWire(5, 1.0).DataECC()
+	if data != patConst(0xC3)(5) || ecc != [4]byte{0x3C, 0, 0, 0} {
+		t.Fatalf("generator did not supersede encoder: data[0]=%#x ecc=%v", data[0], ecc)
+	}
+
+	// A nil generator clears the ECC area but keeps the standard layout.
+	d.SetECCGenerator(nil)
+	data, ecc = d.ReadWire(5, 1.0).DataECC()
+	if data != patConst(0xC3)(5) || ecc != [4]byte{} {
+		t.Fatalf("nil generator did not reset layout: data[0]=%#x ecc=%v", data[0], ecc)
+	}
+}
+
+func TestRewriteEntryUnderEncoder(t *testing.T) {
+	// RewriteEntry interacts with an installed encoder: corruption clears
+	// and the weak-cell leak clock restarts against the encoded wire.
+	d := New(hbm2.V100(), 0.016)
+	d.SetECCGenerator(func(data [hbm2.EntryBytes]byte) [4]byte {
+		return [4]byte{data[0] ^ 0xFF, 0, 0, 0}
+	})
+	d.WriteAll(patConst(0x0F), 0)
+	cleanWire := d.ReadWire(4, 0.001)
+
+	// Corrupt a check-area bit (wire byte 8 is beat 0's check byte):
+	// visible on the wire, invisible in data.
+	eccBase := bitvec.ByteBase(8)
+	d.InjectCorruption(4, Corruption{Xor: bitvec.V288{}.FlipBit(eccBase)})
+	if got := d.ReadWire(4, 0.002); got == cleanWire {
+		t.Fatal("check-area corruption not visible on wire")
+	}
+	if got := d.ReadEntry(4, 0.002); got != patConst(0x0F)(4) {
+		t.Fatal("check-area corruption leaked into data")
+	}
+	d.RewriteEntry(4, 0.003)
+	if got := d.ReadWire(4, 0.004); got != cleanWire {
+		t.Fatal("rewrite did not clear check-area corruption")
+	}
+
+	// A weak cell in the check area leaks against the encoded stored
+	// value (check byte is 0x0F^0xFF = 0xF0, so bit 4 stores a 1), and
+	// its clock restarts on rewrite.
+	d.AddWeakCell(4, WeakCell{Bit: eccBase + 4, Retention: 0.008, LeakTo: 0})
+	if got := d.ReadWire(4, 0.012); got == cleanWire {
+		t.Fatal("check-area weak cell did not leak")
+	}
+	d.RewriteEntry(4, 0.011)
+	if got := d.ReadWire(4, 0.014); got != cleanWire {
+		t.Fatal("rewrite did not restart check-area leak clock")
+	}
+}

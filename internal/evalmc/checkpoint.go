@@ -25,7 +25,11 @@ type Checkpoint struct {
 	// stream split, and a checkpoint taken under one split must not be
 	// resumed under another (the trial sequences differ). Zero means the
 	// legacy GOMAXPROCS-derived split; old checkpoints decode to zero.
-	Shards  int                                 `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// OnDie echoes Options.OnDie: cells evaluated through an on-die ECC
+	// error transform are not interchangeable with raw cells, so a
+	// checkpoint taken under one stage must not resume under another.
+	OnDie   string                              `json:"ondie,omitempty"`
 	Results map[string]map[string]PatternResult `json:"results"`
 
 	mu sync.Mutex
@@ -41,6 +45,7 @@ func NewCheckpoint(opts Options) *Checkpoint {
 		SamplesBeat:  opts.SamplesBeat,
 		SamplesEntry: opts.SamplesEntry,
 		Shards:       opts.Shards,
+		OnDie:        opts.OnDie,
 		Results:      map[string]map[string]PatternResult{},
 	}
 }
@@ -57,6 +62,10 @@ func (c *Checkpoint) Compatible(opts Options) error {
 	if c.Shards != opts.Shards {
 		return fmt.Errorf("evalmc: checkpoint shards=%d does not match options shards=%d (the sampler stream split differs)",
 			c.Shards, opts.Shards)
+	}
+	if c.OnDie != opts.OnDie {
+		return fmt.Errorf("evalmc: checkpoint on-die stage %q does not match options %q (the error transforms differ)",
+			c.OnDie, opts.OnDie)
 	}
 	return nil
 }

@@ -87,6 +87,18 @@ type Options struct {
 	// evaluated — the checkpoint hook (see Checkpoint.Store). It is not
 	// called for cells satisfied by Resume.
 	Progress func(scheme string, p errormodel.Pattern, r PatternResult)
+	// ErrTransform, when set, maps every raw error mask through a
+	// data-independent transformation before the scheme decodes it — the
+	// on-die ECC stage's error distortion (ondie.Stage.TransformMask).
+	// The sampler streams are untouched (the transform applies after
+	// sampling), so a nil transform reproduces today's golden results
+	// byte-identically and a non-nil one evaluates the same raw trial
+	// set as observed past the die. Must be pure and safe for
+	// concurrent use.
+	ErrTransform func(bitvec.V288) bitvec.V288
+	// OnDie names the ErrTransform's stage for checkpoint echoes (see
+	// Checkpoint); informational when ErrTransform is nil.
+	OnDie string
 }
 
 func (o *Options) defaults() {
@@ -252,7 +264,7 @@ func evaluateCell(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, opts Op
 	var r PatternResult
 	complete := true
 	if errormodel.EnumerableCount(p) >= 0 {
-		r = evaluateExhaustive(s, wire, p)
+		r = evaluateExhaustive(s, wire, p, opts.ErrTransform)
 	} else {
 		r, complete = evaluateSampled(s, wire, p, CellTrials(p, opts), opts)
 	}
@@ -412,11 +424,14 @@ func (b *batchClassifier) flush() {
 	b.n = 0
 }
 
-func evaluateExhaustive(s core.Scheme, wire bitvec.V288, p errormodel.Pattern) PatternResult {
+func evaluateExhaustive(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, tf func(bitvec.V288) bitvec.V288) PatternResult {
 	r := PatternResult{Pattern: p, Exhaustive: true}
 	bc := newBatchClassifier(s, wire, p)
 	errormodel.Enumerate(p, func(e bitvec.V288) {
 		r.N++
+		if tf != nil {
+			e = tf(e)
+		}
 		bc.add(e)
 	})
 	bc.flush()
@@ -471,7 +486,11 @@ func evaluateSampled(s core.Scheme, wire bitvec.V288, p errormodel.Pattern, n in
 				if ctx != nil && i%cancelCheckStride == 0 && ctx.Err() != nil {
 					break
 				}
-				bc.add(smp.Sample(p))
+				e := smp.Sample(p)
+				if opts.ErrTransform != nil {
+					e = opts.ErrTransform(e)
+				}
+				bc.add(e)
 				c.n++
 			}
 			bc.flush()

@@ -171,6 +171,14 @@ type CampaignConfig struct {
 	// simulation without affecting clustering, since it stays far above
 	// the read-pass duration).
 	MTTE float64
+	// OnDie, when non-nil, installs a per-die SEC ECC stage on the
+	// campaign device before exposure: every microbenchmark read passes
+	// through the die's silent correct/miscorrect behavior, distorting
+	// the observed error patterns (single-bit raw faults vanish, 2-bit
+	// faults inflate to 3-bit). The raw fault schedule is unchanged —
+	// reads never consume beam RNG — so a campaign with and without a
+	// stage differs only in observation.
+	OnDie dram.OnDieStage
 	// OnRun, when set, is called after each microbenchmark run with the
 	// number of completed runs, the total, and the run's log (progress
 	// reporting). It must not mutate the log.

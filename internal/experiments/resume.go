@@ -21,12 +21,28 @@ var mResumedRuns = obs.NewCounter("campaign_resumed_runs_total",
 // completed logs carry everything needed to both continue (state is
 // rebuilt by replaying the exposure schedule) and post-process.
 type CampaignCheckpoint struct {
-	Seed      int64             `json:"seed"`
-	Runs      int               `json:"runs"`
-	MTTE      float64           `json:"mtte"`
+	Seed int64   `json:"seed"`
+	Runs int     `json:"runs"`
+	MTTE float64 `json:"mtte"`
+	// OnDie echoes the name of the campaign's on-die ECC stage (empty
+	// when none): observations depend on the stage, so resuming under a
+	// different one would silently mix distorted and raw records.
+	OnDie     string            `json:"ondie,omitempty"`
 	Completed int               `json:"completed"`
 	Clock     float64           `json:"clock"`
 	Logs      []*microbench.Log `json:"logs"`
+}
+
+// stageName names an on-die stage for the checkpoint echo; stages expose
+// their registry name via an optional Name method.
+func stageName(s dram.OnDieStage) string {
+	if s == nil {
+		return ""
+	}
+	if n, ok := s.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return "unnamed"
 }
 
 // Save atomically writes the checkpoint to path (write-temp-then-rename).
@@ -49,6 +65,10 @@ func (c *CampaignCheckpoint) compatible(cfg CampaignConfig) error {
 	if c.Seed != cfg.Seed || c.Runs != cfg.Runs || c.MTTE != cfg.MTTE {
 		return fmt.Errorf("experiments: checkpoint (seed=%d runs=%d mtte=%g) does not match config (seed=%d runs=%d mtte=%g)",
 			c.Seed, c.Runs, c.MTTE, cfg.Seed, cfg.Runs, cfg.MTTE)
+	}
+	if c.OnDie != stageName(cfg.OnDie) {
+		return fmt.Errorf("experiments: checkpoint on-die stage %q does not match config %q",
+			c.OnDie, stageName(cfg.OnDie))
 	}
 	if c.Completed != len(c.Logs) {
 		return fmt.Errorf("experiments: checkpoint completed=%d but carries %d logs", c.Completed, len(c.Logs))
@@ -92,6 +112,9 @@ func CampaignRun(cfg CampaignConfig) ([]*microbench.Log, error) {
 	defer span.Finish()
 	setup := span.Child("device_setup")
 	dev := dram.New(hbm2.V100(), dram.DefaultRefreshPeriod)
+	if cfg.OnDie != nil {
+		dev.SetOnDie(cfg.OnDie)
+	}
 	b := beam.New(dev, beam.Config{
 		Seed:           cfg.Seed,
 		SEURatePerFlux: 1 / (cfg.MTTE * beam.ChipIRFlux),
@@ -142,6 +165,7 @@ func CampaignRun(cfg CampaignConfig) ([]*microbench.Log, error) {
 		if cfg.OnCheckpoint != nil {
 			cfg.OnCheckpoint(&CampaignCheckpoint{
 				Seed: cfg.Seed, Runs: cfg.Runs, MTTE: cfg.MTTE,
+				OnDie:     stageName(cfg.OnDie),
 				Completed: len(logs), Clock: t, Logs: logs,
 			})
 		}

@@ -55,6 +55,12 @@ func Wrap(dev *dram.Device, scheme core.Scheme) *GPU {
 	return g
 }
 
+// SetOnDie installs a per-die SEC ECC stage beneath the rank-level
+// scheme: every device read (ECC-protected or raw) passes through the
+// stage's silent correction before this GPU's decoders see it — the
+// layering of a real HBM die with on-die ECC under GPU DRAM ECC.
+func (g *GPU) SetOnDie(stage dram.OnDieStage) { g.Dev.SetOnDie(stage) }
+
 // Clock returns the GPU's current simulation time in seconds.
 func (g *GPU) Clock() float64 { return g.clock }
 

@@ -1,0 +1,59 @@
+package hbm2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRowKeyBankKeyProperties pins the key-extraction masks against the
+// CoordOf field semantics: RowKey must be exactly "same coordinate with
+// Column cleared" and BankKey exactly "only stack/channel/bank kept".
+// The masks are hand-derived from the index packing; this property test
+// keeps them honest if the bit layout ever shifts.
+func TestRowKeyBankKeyProperties(t *testing.T) {
+	cfg := V100()
+	rng := rand.New(rand.NewSource(42))
+	entries := cfg.Entries()
+	for trial := 0; trial < 10_000; trial++ {
+		idx := rng.Int63n(entries)
+		co := cfg.CoordOf(idx)
+
+		rowCo := co
+		rowCo.Column = 0
+		if got, want := cfg.RowKey(idx), cfg.EntryIndex(rowCo); got != want {
+			t.Fatalf("RowKey(%d) = %d, want %d (coord %+v with Column cleared)", idx, got, want, co)
+		}
+
+		bankCo := Coord{Stack: co.Stack, Channel: co.Channel, Bank: co.Bank}
+		if got, want := cfg.BankKey(idx), cfg.EntryIndex(bankCo); got != want {
+			t.Fatalf("BankKey(%d) = %d, want %d (coord %+v reduced to stack/channel/bank)", idx, got, want, co)
+		}
+
+		// Key equivalence must match coordinate equivalence for a second
+		// random index.
+		idx2 := rng.Int63n(entries)
+		co2 := cfg.CoordOf(idx2)
+		sameRow := co.Stack == co2.Stack && co.Channel == co2.Channel &&
+			co.Bank == co2.Bank && co.Subarray == co2.Subarray && co.Row == co2.Row
+		if (cfg.RowKey(idx) == cfg.RowKey(idx2)) != sameRow {
+			t.Fatalf("RowKey equivalence disagrees with coords: %+v vs %+v", co, co2)
+		}
+		sameBank := co.Stack == co2.Stack && co.Channel == co2.Channel && co.Bank == co2.Bank
+		if (cfg.BankKey(idx) == cfg.BankKey(idx2)) != sameBank {
+			t.Fatalf("BankKey equivalence disagrees with coords: %+v vs %+v", co, co2)
+		}
+	}
+
+	// Every entry of a row shares its RowKey; a neighboring row does not.
+	co := cfg.CoordOf(rng.Int63n(entries))
+	for _, e := range cfg.SameRowEntries(co) {
+		if cfg.RowKey(e) != cfg.RowKey(cfg.EntryIndex(co)) {
+			t.Fatalf("row entry %d has a different RowKey", e)
+		}
+	}
+	other := co
+	other.Row = (other.Row + 1) % RowsPerSubarray
+	if cfg.RowKey(cfg.EntryIndex(other)) == cfg.RowKey(cfg.EntryIndex(co)) {
+		t.Fatal("adjacent rows share a RowKey")
+	}
+}

@@ -157,3 +157,51 @@ func (c *Code) Decode(w bitvec.V72) (bitvec.V72, ecc.Status, int) {
 
 // Syndrome exposes the raw syndrome of a received word.
 func (c *Code) Syndrome(w bitvec.V72) uint8 { return c.H.Syndrome(w) }
+
+// Profile tallies decode outcomes over an error-weight class (see
+// MiscorrectionProfile).
+type Profile struct {
+	// Corrected counts errors the decoder removed exactly; Miscorrected
+	// counts errors where a correction landed on a wrong bit (the decoded
+	// word differs from the true one); Detected counts detect-and-flag
+	// outcomes; Silent counts nonzero errors with a zero syndrome
+	// (undetectable codeword-weight errors).
+	Corrected, Miscorrected, Detected, Silent int
+}
+
+// Total returns the number of error patterns profiled.
+func (p Profile) Total() int { return p.Corrected + p.Miscorrected + p.Detected + p.Silent }
+
+// MiscorrectionProfile classifies the decode outcome of every weight-w
+// 72-bit error pattern. By linearity the outcome depends only on the
+// error, so the profile is computed on the zero codeword. For a Hsiao
+// SEC-DED code: weight 1 is fully corrected, weight 2 fully detected
+// (the DED guarantee — odd columns make every 2-bit syndrome even), and
+// weight 3+ splits between miscorrection, detection, and (for codeword
+// weights) silent passage. The on-die distortion tests reuse this as the
+// miscorrection-class ground truth for the hsiao64 stage.
+func (c *Code) MiscorrectionProfile(weight int) Profile {
+	var p Profile
+	var walk func(next, left int, e bitvec.V72)
+	walk = func(next, left int, e bitvec.V72) {
+		if left == 0 {
+			got, status, _ := c.Decode(e)
+			switch {
+			case status == ecc.Detected:
+				p.Detected++
+			case got.IsZero() && status == ecc.Corrected:
+				p.Corrected++
+			case status == ecc.OK:
+				p.Silent++
+			default:
+				p.Miscorrected++
+			}
+			return
+		}
+		for b := next; b <= 72-left; b++ {
+			walk(b+1, left-1, e.FlipBit(b))
+		}
+	}
+	walk(0, weight, bitvec.V72{})
+	return p
+}

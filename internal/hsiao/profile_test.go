@@ -1,0 +1,36 @@
+package hsiao
+
+import "testing"
+
+// TestMiscorrectionProfileGolden pins the decode-outcome class counts of
+// the (72,64) Hsiao code per error weight. These are structural
+// invariants of any valid Hsiao SEC-DED matrix — every weight-1 error
+// corrects, every weight-2 error detects (odd columns force even 2-bit
+// syndromes), no error below the minimum distance (4) passes silently —
+// plus the exact weight-3 miscorrection split of this matrix, which the
+// on-die hsiao64 stage's distortion assertions build on.
+func TestMiscorrectionProfileGolden(t *testing.T) {
+	c := New()
+	golden := []struct {
+		weight int
+		want   Profile
+	}{
+		{1, Profile{Corrected: 72}},
+		{2, Profile{Detected: 2556}},
+		{3, Profile{Miscorrected: 33580, Detected: 26060}},
+	}
+	for _, g := range golden {
+		got := c.MiscorrectionProfile(g.weight)
+		if got != g.want {
+			t.Errorf("weight %d: profile %+v, want %+v", g.weight, got, g.want)
+		}
+		// C(72, w) patterns must be accounted for exactly.
+		binom := 1
+		for i := 0; i < g.weight; i++ {
+			binom = binom * (72 - i) / (i + 1)
+		}
+		if got.Total() != binom {
+			t.Errorf("weight %d: total %d, want C(72,%d)=%d", g.weight, got.Total(), g.weight, binom)
+		}
+	}
+}

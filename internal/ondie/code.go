@@ -1,0 +1,141 @@
+// Package ondie models the invisible per-die SEC ECC stage real HBM dies
+// scrub every read through before the rank-level codes ever see the data
+// (Patel, "Enabling Effective Error Mitigation in Memory Chips That Use
+// On-Die Error-Correcting Codes"). The stage silently corrects single-cell
+// faults and — crucially for the paper's characterization pipeline —
+// *miscorrects* multi-cell faults, flipping an extra bit and distorting
+// every observed error statistic: single-bit raw faults vanish, 2-bit
+// faults become 3-bit observations, and byte-confined faults leak outside
+// their byte, shifting the byte-aligned fraction.
+//
+// The package provides three layers:
+//
+//   - Code: a small parameterized SEC (Hamming) or SEC-DED (Hsiao) block
+//     code with an explicit H-matrix, the unit the die applies per chunk;
+//   - Stage: the per-entry decode stage chunking the 288-bit wire image
+//     into codewords with hidden parity cells, pluggable into
+//     dram.Device via SetOnDie;
+//   - Infer: a BEER-style reverse-engineering engine that recovers the
+//     unknown H-matrix of a black-box stage from crafted data-retention
+//     test patterns (beer.md-style all-0s/all-1s/checkerboard charge
+//     states plus beyond-refresh weak-cell exposure).
+package ondie
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// maxR bounds the check-bit width of an on-die code; syndromes fit uint16
+// and per-entry hidden parity packs into one uint64 (see Stage).
+const maxR = 9
+
+// Code is one on-die codeword: a systematic (K+R, K) binary code given by
+// the R-bit syndrome column of each of its K data bits. The R parity
+// columns are the identity by convention (systematic form) and are not
+// stored. A Code is safe for concurrent use after construction.
+type Code struct {
+	// Name labels the code ("hamming72", a shortened "hamming64/32", ...).
+	Name string
+	// K and R are the data and check bit counts; the codeword is K+R bits.
+	K, R int
+	// SECDED marks odd-column-weight (Hsiao-family) codes: every 2-bit
+	// error yields an even-weight syndrome matching no column, so the die
+	// detects-and-passes instead of miscorrecting. On-die ECC has no DUE
+	// signaling, so "detected" still means the raw bits go out unchanged.
+	SECDED bool
+	// Cols holds the K data columns of H as R-bit values.
+	Cols []uint16
+	// lut maps a syndrome to the position it corrects: 0..K-1 for data
+	// bits, K..K+R-1 for (hidden) parity bits, -1 for no match.
+	lut []int16
+}
+
+// newCode validates the column set and builds the syndrome LUT.
+func newCode(name string, r int, secded bool, cols []uint16) (*Code, error) {
+	if r < 1 || r > maxR {
+		return nil, fmt.Errorf("ondie: R=%d outside [1,%d]", r, maxR)
+	}
+	c := &Code{Name: name, K: len(cols), R: r, SECDED: secded,
+		Cols: cols, lut: make([]int16, 1<<uint(r))}
+	if c.K+c.R > 1<<uint(r) {
+		return nil, fmt.Errorf("ondie: %s: %d+%d positions exceed 2^%d-1 syndromes", name, c.K, c.R, r)
+	}
+	for i := range c.lut {
+		c.lut[i] = -1
+	}
+	for r0 := 0; r0 < r; r0++ {
+		c.lut[1<<uint(r0)] = int16(c.K + r0)
+	}
+	for j, col := range cols {
+		if col == 0 || col >= 1<<uint(r) {
+			return nil, fmt.Errorf("ondie: %s: column %d = %#x out of range", name, j, col)
+		}
+		if c.lut[col] != -1 {
+			return nil, fmt.Errorf("ondie: %s: column %d = %#x duplicates another position", name, j, col)
+		}
+		c.lut[col] = int16(j)
+	}
+	return c, nil
+}
+
+// Hamming constructs the (k+r, k) single-error-correcting Hamming code:
+// parity columns are the identity and the k data columns are the smallest
+// multi-weight r-bit values in ascending order — the textbook layout
+// on-die SEC implementations use, covering the (71,64) per-mat and
+// (136,128) per-burst candidates.
+func Hamming(name string, k, r int) (*Code, error) {
+	cols := make([]uint16, 0, k)
+	for v := 3; v < 1<<uint(r) && len(cols) < k; v++ {
+		if bits.OnesCount16(uint16(v)) >= 2 {
+			cols = append(cols, uint16(v))
+		}
+	}
+	if len(cols) < k {
+		return nil, fmt.Errorf("ondie: %s: only %d multi-weight columns for k=%d", name, len(cols), k)
+	}
+	return newCode(name, r, false, cols)
+}
+
+// NewSECDED constructs a SEC-DED code from explicit columns (all odd
+// weight); used to drop the repository's (72,64) Hsiao matrix beneath the
+// rank-level stack as an on-die candidate.
+func NewSECDED(name string, r int, cols []uint16) (*Code, error) {
+	for j, col := range cols {
+		if bits.OnesCount16(col)&1 == 0 {
+			return nil, fmt.Errorf("ondie: %s: column %d = %#x has even weight", name, j, col)
+		}
+	}
+	return newCode(name, r, true, cols)
+}
+
+// Shorten derives the (k+R, k) shortened code keeping the first k data
+// columns — the tail chunk of an entry whose width is not a multiple of
+// the full codeword's K. Shortening preserves correction capability and
+// makes more syndromes miss the column set (pass-through).
+func (c *Code) Shorten(k int) (*Code, error) {
+	if k <= 0 || k > c.K {
+		return nil, fmt.Errorf("ondie: cannot shorten %s (K=%d) to k=%d", c.Name, c.K, k)
+	}
+	return newCode(fmt.Sprintf("%s/%d", c.Name, k), c.R, c.SECDED, c.Cols[:k])
+}
+
+// syndrome computes H·e for a chunk error: data error bits in (lo, hi)
+// — bit j of the codeword at bit j of lo for j<64, of hi for j>=64 —
+// plus the parity-cell error mask (parity columns are the identity, so
+// the mask is its own syndrome contribution).
+func (c *Code) syndrome(lo, hi uint64, parityErr uint16) uint16 {
+	s := parityErr
+	for m := lo; m != 0; m &= m - 1 {
+		s ^= c.Cols[bits.TrailingZeros64(m)]
+	}
+	for m := hi; m != 0; m &= m - 1 {
+		s ^= c.Cols[64+bits.TrailingZeros64(m)]
+	}
+	return s
+}
+
+// target returns the position a nonzero syndrome corrects: a data bit
+// (0..K-1), a hidden parity bit (K..K+R-1), or -1 when no column matches
+// (the die passes the raw bits through).
+func (c *Code) target(s uint16) int { return int(c.lut[s]) }

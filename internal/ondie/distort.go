@@ -1,0 +1,94 @@
+// The distortion study: how an on-die ECC stage distorts every observed
+// error statistic of the beam characterization campaign (Table 1, Fig. 8
+// style breakdowns), recomputed on-die on vs off from the SAME raw fault
+// schedule.
+
+package ondie
+
+import (
+	"fmt"
+
+	"hbm2ecc/internal/classify"
+	"hbm2ecc/internal/errormodel"
+	"hbm2ecc/internal/experiments"
+	"hbm2ecc/internal/stats"
+)
+
+// DistortionSide is one side (raw or on-die-distorted) of the study: the
+// campaign's classified observables.
+type DistortionSide struct {
+	Events      int                                      `json:"events"`
+	Classes     [classify.NumClasses]stats.Proportion    `json:"classes"`
+	Table1      [errormodel.NumPatterns]stats.Proportion `json:"table1"`
+	ByteAligned stats.Proportion                         `json:"byte_aligned"`
+	MultiBit    stats.Proportion                         `json:"multi_bit"`
+	Weights     [errormodel.NumPatterns]float64          `json:"weights"`
+}
+
+// DistortionReport compares one campaign observed raw against the same
+// campaign observed through an on-die ECC stage.
+type DistortionReport struct {
+	Stage      string         `json:"stage"`
+	Seed       int64          `json:"seed"`
+	Runs       int            `json:"runs"`
+	Raw        DistortionSide `json:"raw"`
+	Distorted  DistortionSide `json:"distorted"`
+	StageStats Stats          `json:"stage_stats"`
+}
+
+func side(an *classify.Analysis) DistortionSide {
+	return DistortionSide{
+		Events:      len(an.Events),
+		Classes:     an.ClassBreakdown(),
+		Table1:      an.Table1(),
+		ByteAligned: an.ByteAlignedFraction(),
+		MultiBit:    an.MultiBitFraction(),
+		Weights:     an.Table1Weights(),
+	}
+}
+
+// DistortionStudy runs the soft-error beam campaign twice with an
+// identical seed — once raw, once with the named on-die stage installed
+// on the device — and reports both classified views. Reads never consume
+// beam RNG, so both runs see the exact same raw fault schedule; only the
+// observation differs, which isolates the stage's distortion:
+// single-bit raw events disappear (silently corrected), 2-bit events
+// inflate to 3-bit patterns, and byte-confined errors leak outside their
+// byte.
+func DistortionStudy(stage string, seed int64, runs int) (*DistortionReport, error) {
+	st, err := StageByName(stage)
+	if err != nil {
+		return nil, err
+	}
+	rep := &DistortionReport{Stage: stage, Seed: seed, Runs: runs}
+
+	raw := experiments.Campaign(experiments.CampaignConfig{Seed: seed, Runs: runs})
+	rep.Raw = side(raw)
+
+	st.ResetStats()
+	distorted := experiments.Campaign(experiments.CampaignConfig{Seed: seed, Runs: runs, OnDie: st})
+	rep.Distorted = side(distorted)
+	rep.StageStats = st.Stats()
+	return rep, nil
+}
+
+// CheckDirection validates the documented distortion direction: the
+// stage must absorb events (silent single-bit correction) and must not
+// increase the single-bit share of what remains. It returns nil when the
+// report moves the right way.
+func (r *DistortionReport) CheckDirection() error {
+	if r.Distorted.Events > r.Raw.Events {
+		return fmt.Errorf("ondie: stage %s increased observed events %d -> %d",
+			r.Stage, r.Raw.Events, r.Distorted.Events)
+	}
+	if r.StageStats.Corrected == 0 {
+		return fmt.Errorf("ondie: stage %s corrected nothing over %d runs", r.Stage, r.Runs)
+	}
+	rawSingle := r.Raw.Table1[errormodel.Bit1].P
+	distSingle := r.Distorted.Table1[errormodel.Bit1].P
+	if r.Distorted.Events > 0 && distSingle > rawSingle {
+		return fmt.Errorf("ondie: stage %s raised the single-bit share %.3f -> %.3f",
+			r.Stage, rawSingle, distSingle)
+	}
+	return nil
+}

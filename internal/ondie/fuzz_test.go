@@ -1,0 +1,56 @@
+package ondie
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+)
+
+// FuzzOnDieDecodeVsRef throws arbitrary raw error masks (visible + hidden
+// parity) at every candidate stage: the packed word-at-a-time decode must
+// agree bit-for-bit with the naive per-bit reference decoder, for
+// arbitrary clean data.
+func FuzzOnDieDecodeVsRef(f *testing.F) {
+	f.Add(make([]byte, 88), uint8(0))
+	dense := make([]byte, 88)
+	for i := range dense {
+		dense[i] = byte(i*37 + 1)
+	}
+	f.Add(dense, uint8(2))
+	stages := make([]*Stage, 0, len(StageNames()))
+	for _, name := range StageNames() {
+		st, err := StageByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		stages = append(stages, st)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte, which uint8) {
+		if len(raw) != 88 {
+			return
+		}
+		st := stages[int(which)%len(stages)]
+		var clean, errMask bitvec.V288
+		for w := 0; w < 5; w++ {
+			clean[w] = binary.LittleEndian.Uint64(raw[w*8:])
+			errMask[w] = binary.LittleEndian.Uint64(raw[40+w*8:])
+		}
+		clean[4] &= 0xFFFFFFFF
+		errMask[4] &= 0xFFFFFFFF
+		parityErr := binary.LittleEndian.Uint64(raw[80:])
+		parityErr &= 1<<uint(st.ParityBits()) - 1
+
+		rawWire := clean.Xor(errMask)
+		got := st.Correct(clean, rawWire, parityErr)
+		want := st.correctRef(clean, rawWire, parityErr)
+		if got != want {
+			t.Fatalf("%s: decode diverged\n clean %v\n err   %v\n pe    %#x\n got   %v\n want  %v",
+				st.Name(), clean, errMask, parityErr, got, want)
+		}
+		// The mask transform must match the full decode on clean parity.
+		if tm := st.TransformMask(errMask); clean.Xor(tm) != st.correctRef(clean, rawWire, 0) {
+			t.Fatalf("%s: TransformMask inconsistent with decode", st.Name())
+		}
+	})
+}

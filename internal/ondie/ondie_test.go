@@ -1,0 +1,233 @@
+package ondie
+
+import (
+	"testing"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/dram"
+	"hbm2ecc/internal/hbm2"
+)
+
+func testCfg() hbm2.Config { return hbm2.V100() }
+
+func TestStageGeometry(t *testing.T) {
+	cases := []struct {
+		name           string
+		chunks, parity int
+		tailK          int // 0 = no tail
+	}{
+		{"hamming72", 4, 28, 0},
+		{"hamming64", 5, 35, 32},
+		{"sec128", 3, 24, 32},
+		{"hsiao64", 5, 40, 32},
+	}
+	for _, tc := range cases {
+		st, err := StageByName(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if st.Chunks() != tc.chunks {
+			t.Errorf("%s: chunks = %d, want %d", tc.name, st.Chunks(), tc.chunks)
+		}
+		if st.ParityBits() != tc.parity {
+			t.Errorf("%s: parity bits = %d, want %d", tc.name, st.ParityBits(), tc.parity)
+		}
+		switch {
+		case tc.tailK == 0 && st.Tail != nil:
+			t.Errorf("%s: unexpected tail code", tc.name)
+		case tc.tailK > 0 && (st.Tail == nil || st.Tail.K != tc.tailK):
+			t.Errorf("%s: tail = %+v, want K=%d", tc.name, st.Tail, tc.tailK)
+		}
+		// Full-chunk data widths must tile the entry together with the tail.
+		total := st.nFull * st.Full.K
+		if st.Tail != nil {
+			total += st.Tail.K
+		}
+		if total != bitvec.EntryBits {
+			t.Errorf("%s: chunk widths cover %d bits, want %d", tc.name, total, bitvec.EntryBits)
+		}
+	}
+	if _, err := StageByName("nope"); err == nil {
+		t.Error("unknown stage name did not error")
+	}
+}
+
+func TestCodeSingleErrorCorrection(t *testing.T) {
+	for _, name := range StageNames() {
+		st, err := StageByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every single-bit visible error must be corrected away entirely.
+		for b := 0; b < bitvec.EntryBits; b++ {
+			var e bitvec.V288
+			e = e.SetBit(b, 1)
+			if got := st.TransformMask(e); !got.IsZero() {
+				t.Fatalf("%s: single-bit error at %d not corrected: %v", name, b, got.Bits())
+			}
+		}
+		// Every single parity-cell error must leave the wire untouched.
+		var zero bitvec.V288
+		for p := 0; p < st.ParityBits(); p++ {
+			if got := st.Correct(zero, zero, uint64(1)<<uint(p)); !got.IsZero() {
+				t.Fatalf("%s: parity-cell error %d flipped wire bits: %v", name, p, got.Bits())
+			}
+		}
+	}
+}
+
+func TestStageDoubleErrorBehavior(t *testing.T) {
+	// Within one chunk, a Hamming (non-SECDED) code either miscorrects a
+	// 2-bit error to a 3-bit (or 1-bit, if the extra flip cancels) pattern
+	// or passes it; a Hsiao SEC-DED chunk always passes 2-bit errors
+	// through unchanged.
+	for _, name := range StageNames() {
+		st, err := StageByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := st.Full.K
+		inflated, passed := 0, 0
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				var e bitvec.V288
+				e = e.SetBit(a, 1).SetBit(b, 1)
+				got := st.TransformMask(e)
+				switch got.OnesCount() {
+				case 2:
+					if got != e {
+						t.Fatalf("%s: 2-bit error {%d,%d} moved to %v", name, a, b, got.Bits())
+					}
+					passed++
+				case 1, 3:
+					inflated++
+				default:
+					t.Fatalf("%s: 2-bit error {%d,%d} became %v", name, a, b, got.Bits())
+				}
+			}
+		}
+		if st.Full.SECDED {
+			if inflated != 0 {
+				t.Errorf("%s: SEC-DED chunk miscorrected %d double errors", name, inflated)
+			}
+		} else if inflated == 0 {
+			t.Errorf("%s: no double error was miscorrected (passed=%d)", name, passed)
+		}
+	}
+}
+
+func TestStageStats(t *testing.T) {
+	st, err := StageByName("hamming64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e bitvec.V288
+	e = e.SetBit(3, 1)
+	st.TransformMask(e) // corrected
+	e = e.SetBit(5, 1)
+	st.TransformMask(e) // 2-bit: miscorrected or passed
+	s := st.Stats()
+	if s.Corrected != 1 {
+		t.Errorf("corrected = %d, want 1", s.Corrected)
+	}
+	if s.Miscorrected+s.PassedThrough != 1 {
+		t.Errorf("miscorrected+passed = %d+%d, want 1 total", s.Miscorrected, s.PassedThrough)
+	}
+	st.ResetStats()
+	if st.Stats() != (Stats{}) {
+		t.Errorf("ResetStats left %+v", st.Stats())
+	}
+}
+
+func TestDeviceOnDieIntegration(t *testing.T) {
+	st, err := StageByName("hamming72")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := dram.New(testCfg(), dram.DefaultRefreshPeriod)
+	dev.SetOnDie(st)
+	pat := func(int64) [hbm2.EntryBytes]byte {
+		var d [hbm2.EntryBytes]byte
+		for i := range d {
+			d[i] = 0xA5
+		}
+		return d
+	}
+	dev.WriteAll(pat, 0)
+	clean := bitvec.FromDataECC(pat(0), [4]byte{})
+
+	// One soft-error bit flip: the on-die stage corrects it silently.
+	dev.InjectCorruption(7, dram.Corruption{Xor: bitvec.V288{}.FlipBit(13)})
+	if got := dev.ReadWire(7, 1); got != clean {
+		t.Errorf("single-bit soft error not scrubbed: %v", got.Xor(clean).Bits())
+	}
+
+	// Two flips in one chunk: the observed error must differ from the raw
+	// one (this pair miscorrects under hamming72).
+	// Columns 0 and 1 of hamming72 are 3 and 5; their XOR (6) is column 2,
+	// so the pair miscorrects into a 3-bit observed error.
+	raw := bitvec.V288{}.FlipBit(0).FlipBit(1)
+	want := st.TransformMask(raw)
+	if want == raw {
+		t.Fatalf("test premise broken: {0,1} passes through")
+	}
+	dev.InjectCorruption(8, dram.Corruption{Xor: raw})
+	if got := dev.ReadWire(8, 1).Xor(clean); got != want {
+		t.Errorf("double-bit error observed as %v, want %v", got.Bits(), want.Bits())
+	}
+
+	// A hidden parity-cell weak cell alone never shows on the wire.
+	dev.AddWeakCell(9, dram.WeakCell{Bit: bitvec.EntryBits + 5, Retention: 1e-6, LeakTo: 0})
+	if got := dev.ReadWire(9, 1); got != clean {
+		t.Errorf("parity weak cell leaked onto the wire: %v", got.Xor(clean).Bits())
+	}
+
+	// Parity cell + visible cell in the same chunk can miscorrect: with
+	// the stage removed the visible error reads raw again.
+	dev.SetOnDie(nil)
+	if got := dev.ReadWire(8, 1).Xor(clean); got != raw {
+		t.Errorf("with stage removed, error = %v, want raw %v", got.Bits(), raw.Bits())
+	}
+}
+
+func TestAddWeakCellParityBounds(t *testing.T) {
+	dev := dram.New(testCfg(), dram.DefaultRefreshPeriod)
+	mustPanic := func(bit int) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("AddWeakCell(bit=%d) did not panic", bit)
+			}
+		}()
+		dev.AddWeakCell(0, dram.WeakCell{Bit: bit, Retention: 1e-6})
+	}
+	mustPanic(bitvec.EntryBits) // no stage: 288 is out of range
+	st, err := StageByName("hamming72")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetOnDie(st)
+	dev.AddWeakCell(0, dram.WeakCell{Bit: bitvec.EntryBits, Retention: 1e-6})
+	dev.AddWeakCell(0, dram.WeakCell{Bit: bitvec.EntryBits + st.ParityBits() - 1, Retention: 1e-6})
+	mustPanic(bitvec.EntryBits + st.ParityBits())
+}
+
+func TestShortenRejectsBadWidths(t *testing.T) {
+	full, err := Hamming("h", 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Shorten(0); err == nil {
+		t.Error("Shorten(0) did not error")
+	}
+	if _, err := full.Shorten(65); err == nil {
+		t.Error("Shorten(65) did not error")
+	}
+	short, err := full.Shorten(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.K != 32 || short.R != full.R {
+		t.Errorf("Shorten(32) = (%d,%d) code", short.K+short.R, short.K)
+	}
+}

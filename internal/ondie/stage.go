@@ -1,0 +1,310 @@
+// The Stage: chunking one 288-bit wire entry into on-die codewords and
+// applying the die's silent correct/miscorrect/pass behavior on reads.
+
+package ondie
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"hbm2ecc/internal/bitvec"
+	"hbm2ecc/internal/hsiao"
+)
+
+// Stage is a per-die SEC ECC stage beneath the rank-level codes: the
+// 288-bit stored entry (32B data + 4B rank-ECC, all of it DRAM cells) is
+// split into consecutive chunks of Full.K bits, each protected by Full;
+// when 288 is not a multiple of Full.K the remainder forms a shortened
+// tail codeword. Each chunk's R parity bits live in hidden cells that
+// never cross the pins — the stage computes them at write time (they are
+// a pure function of the stored chunk) and consumes them at read time.
+//
+// Stage implements dram.OnDieStage. Decode is pure apart from atomic
+// telemetry counters, so one Stage may serve concurrent readers
+// (evalmc's parallel workers transform masks through a shared Stage).
+type Stage struct {
+	name string
+	// Full is the code of the full-width chunks; Tail the shortened code
+	// of the remainder chunk, or nil when Full.K divides 288.
+	Full, Tail *Code
+	nFull      int
+
+	// Telemetry: per-chunk decode outcomes on erroneous chunks only (the
+	// all-clean fast path counts nothing).
+	corrected     atomic.Int64 // flip landed on the (single) raw error bit
+	miscorrected  atomic.Int64 // flip landed elsewhere: error inflation
+	passedThrough atomic.Int64 // nonzero syndrome, no matching column
+	undetected    atomic.Int64 // erroneous chunk with zero syndrome
+}
+
+// Stats is a snapshot of a stage's decode telemetry.
+type Stats struct {
+	Corrected     int64 `json:"corrected"`
+	Miscorrected  int64 `json:"miscorrected"`
+	PassedThrough int64 `json:"passed_through"`
+	Undetected    int64 `json:"undetected"`
+}
+
+// NewStage chunks the 288-bit entry with the given full-width code.
+func NewStage(name string, full *Code) (*Stage, error) {
+	st := &Stage{name: name, Full: full, nFull: bitvec.EntryBits / full.K}
+	if rem := bitvec.EntryBits % full.K; rem > 0 {
+		tail, err := full.Shorten(rem)
+		if err != nil {
+			return nil, err
+		}
+		st.Tail = tail
+	}
+	if st.ParityBits() > 64 {
+		return nil, fmt.Errorf("ondie: %s needs %d parity cells per entry (max 64)", name, st.ParityBits())
+	}
+	return st, nil
+}
+
+// StageByName builds one of the candidate on-die organizations:
+//
+//	hamming72 — (79,72) SEC per beat, 4 codewords, 28 hidden cells
+//	hamming64 — (71,64) SEC per 64b, 4 + shortened (39,32) tail, 35 cells
+//	sec128    — (136,128) SEC per 128b, 2 + shortened (40,32) tail, 24 cells
+//	hsiao64   — (72,64) Hsiao SEC-DED per 64b, 4 + (40,32) tail, 40 cells
+func StageByName(name string) (*Stage, error) {
+	var code *Code
+	var err error
+	switch name {
+	case "hamming72":
+		code, err = Hamming(name, 72, 7)
+	case "hamming64":
+		code, err = Hamming(name, 64, 7)
+	case "sec128":
+		code, err = Hamming(name, 128, 8)
+	case "hsiao64":
+		h := hsiao.New().H
+		cols := make([]uint16, 64)
+		for j := range cols {
+			cols[j] = uint16(h.Cols[j])
+		}
+		code, err = NewSECDED(name, 8, cols)
+	default:
+		return nil, fmt.Errorf("ondie: unknown on-die code %q (have %v)", name, StageNames())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewStage(name, code)
+}
+
+// StageNames lists the candidate on-die organizations.
+func StageNames() []string {
+	names := []string{"hamming72", "hamming64", "sec128", "hsiao64"}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the stage's registry name.
+func (st *Stage) Name() string { return st.name }
+
+// Chunks returns the number of on-die codewords per entry.
+func (st *Stage) Chunks() int {
+	if st.Tail != nil {
+		return st.nFull + 1
+	}
+	return st.nFull
+}
+
+// ParityBits returns the hidden parity cells per entry; parity bit
+// chunk*Full.R + r is check bit r of that chunk's codeword.
+func (st *Stage) ParityBits() int {
+	n := st.nFull * st.Full.R
+	if st.Tail != nil {
+		n += st.Tail.R
+	}
+	return n
+}
+
+// chunkCode returns the code, first entry bit, and data width of chunk i.
+func (st *Stage) chunkCode(i int) (c *Code, off int) {
+	if i < st.nFull {
+		return st.Full, i * st.Full.K
+	}
+	return st.Tail, st.nFull * st.Full.K
+}
+
+// wordAt reads 64 entry bits starting at off (bits past 287 read zero).
+func wordAt(e *bitvec.V288, off int) uint64 {
+	w, s := off>>6, uint(off&63)
+	var v uint64
+	if w < 4 {
+		v = e[w]
+	} else if w == 4 {
+		v = e[4] & 0xFFFFFFFF
+	}
+	v >>= s
+	if s > 0 && w+1 <= 4 {
+		next := e[w+1]
+		if w+1 == 4 {
+			next &= 0xFFFFFFFF
+		}
+		v |= next << (64 - s)
+	}
+	return v
+}
+
+// chunkErr extracts chunk i's data-error bits from a 288-bit error mask.
+func (st *Stage) chunkErr(e *bitvec.V288, i int) (lo, hi uint64) {
+	c, off := st.chunkCode(i)
+	lo = wordAt(e, off)
+	if c.K < 64 {
+		lo &= 1<<uint(c.K) - 1
+	} else if c.K > 64 {
+		hi = wordAt(e, off+64) & (1<<uint(c.K-64) - 1)
+	}
+	return lo, hi
+}
+
+// Parity computes the packed hidden parity cells stored alongside a clean
+// entry: for each chunk, the R check bits making the codeword's syndrome
+// zero (the XOR of the H columns of its set data bits).
+func (st *Stage) Parity(clean bitvec.V288) uint64 {
+	var p uint64
+	off := 0
+	for i := 0; i < st.Chunks(); i++ {
+		c, _ := st.chunkCode(i)
+		lo, hi := st.chunkErr(&clean, i)
+		p |= uint64(c.syndrome(lo, hi, 0)) << uint(off)
+		off += c.R
+	}
+	return p
+}
+
+// flips computes the visible wire bits the stage's decoders flip for a
+// given raw error (visible error mask + hidden parity error mask), and
+// records telemetry. Because every code is linear, the flip set depends
+// only on the error, never on the stored data.
+func (st *Stage) flips(err *bitvec.V288, parityErr uint64) bitvec.V288 {
+	var out bitvec.V288
+	poff := 0
+	for i := 0; i < st.Chunks(); i++ {
+		c, off := st.chunkCode(i)
+		lo, hi := st.chunkErr(err, i)
+		pe := uint16(parityErr>>uint(poff)) & (1<<uint(c.R) - 1)
+		poff += c.R
+		if lo == 0 && hi == 0 && pe == 0 {
+			continue
+		}
+		s := c.syndrome(lo, hi, pe)
+		if s == 0 {
+			st.undetected.Add(1)
+			continue
+		}
+		m := c.target(s)
+		if m < 0 {
+			st.passedThrough.Add(1)
+			continue
+		}
+		var hit bool
+		if m < c.K {
+			out = out.FlipBit(off + m)
+			if m < 64 {
+				hit = lo>>uint(m)&1 != 0
+			} else {
+				hit = hi>>uint(m-64)&1 != 0
+			}
+		} else {
+			// Correction lands on a hidden parity cell: invisible on the
+			// wire, but it still tells a true correction from a
+			// miscorrection.
+			hit = pe>>uint(m-c.K)&1 != 0
+		}
+		if hit {
+			st.corrected.Add(1)
+		} else {
+			st.miscorrected.Add(1)
+		}
+	}
+	return out
+}
+
+// Correct implements dram.OnDieStage: it decodes the raw stored entry
+// through the per-chunk codes and returns the wire image the die
+// transmits. clean is the entry as written (a valid codeword together
+// with its hidden parity), raw the stored image after faults, parityErr
+// the error mask of the hidden parity cells.
+func (st *Stage) Correct(clean, raw bitvec.V288, parityErr uint64) bitvec.V288 {
+	err := raw.Xor(clean)
+	if err.IsZero() && parityErr == 0 {
+		return raw
+	}
+	return raw.Xor(st.flips(&err, parityErr))
+}
+
+// TransformMask maps a raw error mask to the error observed past the
+// on-die stage, assuming clean parity cells — the entry-level error-
+// pattern transformation the distortion study and `ecceval -ondie`
+// apply. Linearity makes this exact for any stored data.
+func (st *Stage) TransformMask(e bitvec.V288) bitvec.V288 {
+	if e.IsZero() {
+		return e
+	}
+	return e.Xor(st.flips(&e, 0))
+}
+
+// Stats snapshots the decode telemetry.
+func (st *Stage) Stats() Stats {
+	return Stats{
+		Corrected:     st.corrected.Load(),
+		Miscorrected:  st.miscorrected.Load(),
+		PassedThrough: st.passedThrough.Load(),
+		Undetected:    st.undetected.Load(),
+	}
+}
+
+// ResetStats zeroes the telemetry counters (between study phases).
+func (st *Stage) ResetStats() {
+	st.corrected.Store(0)
+	st.miscorrected.Store(0)
+	st.passedThrough.Store(0)
+	st.undetected.Store(0)
+}
+
+// correctRef is a deliberately naive reference decode — per-chunk
+// syndromes recomputed bit-by-bit, columns searched linearly — used by
+// the differential fuzz target to pin the packed fast path.
+func (st *Stage) correctRef(clean, raw bitvec.V288, parityErr uint64) bitvec.V288 {
+	out := raw
+	poff := 0
+	for i := 0; i < st.Chunks(); i++ {
+		c, off := st.chunkCode(i)
+		var s uint16
+		for j := 0; j < c.K; j++ {
+			if clean.Bit(off+j) != raw.Bit(off+j) {
+				s ^= c.Cols[j]
+			}
+		}
+		for r := 0; r < c.R; r++ {
+			if parityErr>>uint(poff+r)&1 != 0 {
+				s ^= 1 << uint(r)
+			}
+		}
+		poff += c.R
+		if s == 0 {
+			continue
+		}
+		flip := -1
+		for j := 0; j < c.K; j++ {
+			if c.Cols[j] == s {
+				flip = j
+				break
+			}
+		}
+		for r := 0; r < c.R; r++ {
+			if 1<<uint(r) == s {
+				flip = -1 // parity-cell correction: invisible
+			}
+		}
+		if flip >= 0 {
+			out = out.FlipBit(off + flip)
+		}
+	}
+	return out
+}

@@ -27,6 +27,7 @@ go test -run Chaos -race -count=2 ./internal/chaos/... ./internal/gpusim/... ./i
 echo "== short fuzz: sliced kernels vs scalar reference =="
 go test -run '^$' -fuzz FuzzSlicedVsScalarBatch -fuzztime 10s ./internal/core/
 go test -run '^$' -fuzz FuzzSynBitRowsVsSyndromes -fuzztime 10s ./internal/rscode/
+go test -run '^$' -fuzz FuzzOnDieDecodeVsRef -fuzztime 10s ./internal/ondie/
 
 echo "== bench smoke: one iteration of every benchmark =="
 HBM2ECC_MC_SAMPLES=2000 HBM2ECC_CAMPAIGN_RUNS=20 \
@@ -157,5 +158,18 @@ echo "== bench smoke: cmd/bench -workload -quick (resume differential) =="
 go run ./cmd/bench -workload -quick -out "$serve_dir/bench_workload.json" >/dev/null
 test -s "$serve_dir/bench_workload.json"
 grep -q '"resume_identical": true' "$serve_dir/bench_workload.json"
+
+echo "== on-die smoke: BEER inference recovers every known H-matrix =="
+ondie_out="$serve_dir/ecceval_ondie.txt"
+go run ./cmd/ecceval -ondie-infer >"$ondie_out"
+test "$(grep -c 'true' "$ondie_out")" = 4 || { echo "inference missed a candidate"; cat "$ondie_out"; exit 1; }
+if grep -q 'false' "$ondie_out"; then echo "inference mismatch"; cat "$ondie_out"; exit 1; fi
+
+echo "== bench smoke: cmd/bench -ondie -quick (inference exactness gate) =="
+go run ./cmd/bench -ondie -quick -out "$serve_dir/bench_ondie.json" >/dev/null
+test -s "$serve_dir/bench_ondie.json"
+if grep -q '"infer_exact_match": false' "$serve_dir/bench_ondie.json"; then
+	echo "bench -ondie: inference failed"; exit 1
+fi
 
 echo "OK: all checks passed"
